@@ -1,0 +1,76 @@
+// Tiny argv parser shared by the table/figure reproduction harnesses.
+//
+// Conventions: options are --name=value, bare flags are --name; --full
+// switches a bench from its quick default configuration to the
+// paper-faithful one (1000 trials for every N up to 2^20).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbb::bench {
+
+/// Parsed command line: --key=value pairs and bare flags.
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (!arg.starts_with("--")) {
+        std::cerr << "unknown positional argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags_.emplace_back(arg);
+      } else {
+        keys_.emplace_back(arg.substr(0, eq));
+        values_.emplace_back(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  [[nodiscard]] bool flag(std::string_view name) const {
+    for (const std::string& f : flags_) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const {
+    const std::string* v = find(name);
+    return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const {
+    const std::string* v = find(name);
+    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string fallback = "") const {
+    const std::string* v = find(name);
+    return v ? *v : fallback;
+  }
+
+ private:
+  [[nodiscard]] const std::string* find(std::string_view name) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == name) return &values_[i];
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> flags_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace lbb::bench

@@ -1,0 +1,57 @@
+// FEM speedup study (motivated by the companion paper [1], which reports
+// "the speed-up achieved by incorporating dynamic load balancing using
+// bisections" in the authors' FEM solver): for graded FE-trees, the
+// achievable solver speedup on P processors is P / ratio(P); compare
+// bisection-based balancing (HF, BA) against a naive equal-element-count
+// *static* split that ignores the tree structure (modeled here by an
+// oblivious level-order split, which cannot follow the grading).
+//
+// Usage: fem_speedup [--elements=20000] [--focus=2.5] [--trials=5]
+#include <iostream>
+
+#include "bench/bench_cli.hpp"
+#include "core/lbb.hpp"
+#include "core/oblivious.hpp"
+#include "problems/fe_tree.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbb;
+
+  const bench::Cli cli(argc, argv);
+  const auto elements =
+      static_cast<std::int32_t>(cli.get_int("elements", 20000));
+  const double focus = cli.get_double("focus", 2.5);
+  const auto trials = static_cast<std::int32_t>(cli.get_int("trials", 5));
+
+  std::cout << "FEM speedup: graded meshes with " << elements
+            << " elements (focus " << focus << "), " << trials
+            << " meshes; entries are achievable speedups P/ratio\n\n";
+
+  stats::TextTable table;
+  table.set_header({"P", "HF", "BA", "level-order split", "ideal"});
+  for (const std::int32_t procs : {4, 8, 16, 32, 64}) {
+    stats::RunningStats hf, ba, naive;
+    for (std::int32_t t = 0; t < trials; ++t) {
+      const auto tree = problems::FeTree::adaptive_refinement(
+          stats::mix64(91, static_cast<std::uint64_t>(t)), elements, focus);
+      problems::FeTreeProblem root(tree);
+      hf.add(procs / core::hf_partition(root, procs).ratio());
+      ba.add(procs / core::ba_partition(root, procs).ratio());
+      naive.add(procs /
+                core::oblivious_partition(
+                    root, procs, core::ObliviousStrategy::kBreadthFirst)
+                    .ratio());
+    }
+    table.add_row({stats::fmt_int(procs), stats::fmt(hf.mean(), 1),
+                   stats::fmt(ba.mean(), 1), stats::fmt(naive.mean(), 1),
+                   stats::fmt_int(procs)});
+  }
+  table.print(std::cout);
+  std::cout << "\nweight-driven bisection keeps the speedup near P; the "
+               "structure-oblivious split saturates because the graded "
+               "mesh concentrates elements in a few subtrees.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 5 of the paper: average performance ratio of BA, BA*,
+// BA-HF, HF versus log2 N for alpha-hat ~ U[0.1, 0.5], beta = 1.0.
+//
+// Usage:
+//   fig5_avg_ratio            quick mode
+//   fig5_avg_ratio --full     1000 trials for every N = 2^5 ... 2^20
+//
+// Expected shape (paper, Figure 5): four nearly flat series ordered
+// BA > BA* > BA-HF > HF, with HF's average ratio almost constant across the
+// whole range N = 32 ... 1,048,576.
+#include <iostream>
+
+#include "bench/bench_cli.hpp"
+#include "experiments/ratio_experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbb;
+  using experiments::Algo;
+
+  const bench::Cli cli(argc, argv);
+  experiments::RatioExperimentConfig config;
+  config.dist = problems::AlphaDistribution::uniform(
+      cli.get_double("lo", 0.1), cli.get_double("hi", 0.5));
+  config.beta = cli.get_double("beta", 1.0);
+  config.trials = static_cast<std::int32_t>(cli.get_int("trials", 1000));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.log2_n = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  if (!cli.flag("full")) {
+    config.bisection_budget = cli.get_int("budget", std::int64_t{1} << 23);
+  }
+
+  std::cout << "Figure 5: average ratio vs log2(N), alpha-hat ~ "
+            << config.dist.describe() << ", beta = " << config.beta << "\n\n";
+
+  const auto result = experiments::run_ratio_experiment(config);
+
+  stats::TextTable table;
+  table.set_header({"logN", "BA", "BA*", "BA-HF", "HF"});
+  for (const std::int32_t k : config.log2_n) {
+    table.add_row({std::to_string(k),
+                   stats::fmt(result.cell(Algo::kBA, k).ratio.mean(), 3),
+                   stats::fmt(result.cell(Algo::kBAStar, k).ratio.mean(), 3),
+                   stats::fmt(result.cell(Algo::kBAHF, k).ratio.mean(), 3),
+                   stats::fmt(result.cell(Algo::kHF, k).ratio.mean(), 3)});
+  }
+  table.print(std::cout);
+
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    experiments::write_ratio_csv(result, csv_path);
+    std::cout << "\n(csv written to " << csv_path << ")\n";
+  }
+
+  // Simple ASCII rendering of the figure.
+  std::cout << "\navg ratio (x = logN, each column scaled to [1, 4])\n";
+  for (const Algo algo :
+       {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF}) {
+    std::cout << experiments::algo_name(algo) << "\t";
+    for (const std::int32_t k : config.log2_n) {
+      const double r = result.cell(algo, k).ratio.mean();
+      const int height =
+          std::max(0, std::min(9, static_cast<int>((r - 1.0) * 3.0)));
+      std::cout << height;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

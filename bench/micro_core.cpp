@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the core algorithms: engineering
+// ablation for the sequential costs behind the simulation experiments
+// (HF's heap, BA's recursion, per-bisection cost of the problem classes).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/lbb.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/fe_tree.hpp"
+#include "problems/grid_domain.hpp"
+#include "problems/pivot_list.hpp"
+#include "problems/synthetic.hpp"
+
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+void BM_HfPartition(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto part = lbb::core::hf_partition(p, n);
+    benchmark::DoNotOptimize(part.pieces.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_HfPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_BaPartition(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto part = lbb::core::ba_partition(p, n);
+    benchmark::DoNotOptimize(part.pieces.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_BaPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_BaHfPartition(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto part = lbb::core::ba_hf_partition(
+        p, n, lbb::core::BaHfParams{0.1, 1.0});
+    benchmark::DoNotOptimize(part.pieces.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_BaHfPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_HfWithTreeRecording(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  lbb::core::PartitionOptions opt;
+  opt.record_tree = true;
+  for (auto _ : state) {
+    auto part = lbb::core::hf_partition(p, n, opt);
+    benchmark::DoNotOptimize(part.tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_HfWithTreeRecording)->Arg(4096);
+
+void BM_SyntheticBisect(benchmark::State& state) {
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto children = p.bisect();
+    benchmark::DoNotOptimize(children.first.weight());
+  }
+}
+BENCHMARK(BM_SyntheticBisect);
+
+void BM_PivotListBisect(benchmark::State& state) {
+  const lbb::problems::PivotListProblem p(1, 1 << 20);
+  for (auto _ : state) {
+    auto children = p.bisect();
+    benchmark::DoNotOptimize(children.first.count());
+  }
+}
+BENCHMARK(BM_PivotListBisect);
+
+void BM_FeTreeBisect(benchmark::State& state) {
+  const auto tree = lbb::problems::FeTree::adaptive_refinement(
+      3, static_cast<std::int32_t>(state.range(0)));
+  const lbb::problems::FeTreeProblem p(tree);
+  for (auto _ : state) {
+    auto children = p.bisect();
+    benchmark::DoNotOptimize(children.first.weight());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FeTreeBisect)->RangeMultiplier(4)->Range(256, 1 << 13);
+
+void BM_GridBisect(benchmark::State& state) {
+  const auto field = std::make_shared<const lbb::problems::GridField>(
+      lbb::problems::GridField::random_hotspots(5, 512, 512));
+  const lbb::problems::GridProblem p(field);
+  for (auto _ : state) {
+    auto children = p.bisect();
+    benchmark::DoNotOptimize(children.first.weight());
+  }
+}
+BENCHMARK(BM_GridBisect);
+
+void BM_SplitProcessors(benchmark::State& state) {
+  double heavier = 0.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lbb::core::ba_split_processors(heavier, 1.0 - heavier + 0.3, 1024));
+  }
+}
+BENCHMARK(BM_SplitProcessors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

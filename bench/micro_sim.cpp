@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulation layer: cost of a full
+// PHF/BA simulation per machine size, event-queue throughput, and the
+// message-level collectives.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/collectives.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/par_ba.hpp"
+#include "sim/phf.hpp"
+
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+void BM_PhfSimulate(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto r = lbb::sim::phf_simulate(p, n, 0.1);
+    benchmark::DoNotOptimize(r.metrics.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_PhfSimulate)->RangeMultiplier(8)->Range(64, 1 << 13);
+
+void BM_BaSimulate(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  for (auto _ : state) {
+    auto r = lbb::sim::ba_simulate(p, n);
+    benchmark::DoNotOptimize(r.metrics.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_BaSimulate)->RangeMultiplier(8)->Range(64, 1 << 13);
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    lbb::sim::EventQueue<std::int32_t> q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<double>((i * 2654435761u) % 1000),
+             static_cast<std::int32_t>(i));
+    }
+    double sum = 0.0;
+    while (!q.empty()) sum += q.pop().time;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_NetBroadcast(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    auto s = lbb::net::broadcast(v, 0);
+    benchmark::DoNotOptimize(s.rounds);
+  }
+}
+BENCHMARK(BM_NetBroadcast)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_NetPrefixSum(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    auto s = lbb::net::prefix_sum(v);
+    benchmark::DoNotOptimize(s.rounds);
+  }
+}
+BENCHMARK(BM_NetPrefixSum)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_NetBitonicSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<lbb::net::KeyId> base(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = lbb::net::KeyId{
+        static_cast<double>((i * 2654435761u) % 997),
+        static_cast<std::int32_t>(i)};
+  }
+  for (auto _ : state) {
+    auto items = base;
+    auto s = lbb::net::bitonic_sort_desc(items);
+    benchmark::DoNotOptimize(s.rounds);
+  }
+}
+BENCHMARK(BM_NetBitonicSort)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Parallel multi-dimensional adaptive quadrature (the paper cites Bonk's
+// adaptive quadrature as an application of bisection-based load balancing).
+//
+// Integrates a sharply peaked 2-D integrand.  The adaptive scheme's work is
+// wildly non-uniform across the domain, so a naive uniform domain split
+// leaves most processors idle; HF's weight-driven split balances the actual
+// number of adaptive boxes per processor.
+//
+//   $ ./adaptive_quadrature [processors]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/lbb.hpp"
+#include "problems/quadrature.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbb;
+
+  const std::int32_t procs = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (procs < 1) {
+    std::cerr << "usage: adaptive_quadrature [processors>=1]\n";
+    return 1;
+  }
+
+  // A Gaussian peak: f(x, y) = exp(-((x-0.3)^2 + (y-0.6)^2)/s).
+  problems::Integrand f = [](std::span<const double> x) {
+    const double dx = x[0] - 0.3;
+    const double dy = x[1] - 0.6;
+    return std::exp(-(dx * dx + dy * dy) / 1e-2);
+  };
+  const double lo[2] = {0.0, 0.0};
+  const double hi[2] = {1.0, 1.0};
+  problems::QuadratureProblem root(
+      std::move(f), problems::QuadratureConfig{1e-7, 30}, 2,
+      std::span<const double>(lo, 2), std::span<const double>(hi, 2));
+
+  std::cout << "Adaptive quadrature over [0,1]^2, peak at (0.3, 0.6)\n"
+            << "total adaptive boxes (== work units): " << root.weight()
+            << "\n\n";
+
+  const auto part = core::hf_partition(root, procs);
+
+  stats::TextTable table;
+  table.set_header({"proc", "region", "boxes", "integral"});
+  double total = 0.0;
+  for (const auto& piece : part.pieces) {
+    const auto& p = piece.problem;
+    const double value = p.integrate();
+    total += value;
+    table.add_row(
+        {stats::fmt_int(piece.processor),
+         "[" + stats::fmt(p.lower()[0], 2) + "," + stats::fmt(p.upper()[0], 2) +
+             "]x[" + stats::fmt(p.lower()[1], 2) + "," +
+             stats::fmt(p.upper()[1], 2) + "]",
+         stats::fmt(piece.weight, 0), stats::fmt(value, 6)});
+  }
+  table.print(std::cout);
+
+  const double exact = 1e-2 * M_PI;  // full Gaussian mass (peak inside box)
+  std::cout << "\nsum of per-processor integrals: " << stats::fmt(total, 6)
+            << "  (analytic ~ " << stats::fmt(exact, 6) << ")\n"
+            << "work balance ratio (max boxes / ideal): "
+            << stats::fmt(part.ratio(), 3) << "\n"
+            << "a uniform " << procs
+            << "-way x-slab split would put nearly all boxes on the slab "
+               "containing x = 0.3.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Domain decomposition of a 2-D cost field ("layout optimization" / CFD
+// style, cited by the paper): split a chip-like density map across
+// processors by recursive best-cut bisection and visualize the resulting
+// rectangles as ASCII art.
+//
+//   $ ./chip_layout [processors] [grid_size]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lbb.hpp"
+#include "problems/grid_domain.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbb;
+
+  const std::int32_t procs = argc > 1 ? std::atoi(argv[1]) : 12;
+  const std::int32_t size = argc > 2 ? std::atoi(argv[2]) : 96;
+  if (procs < 1 || size < 8) {
+    std::cerr << "usage: chip_layout [processors>=1] [grid_size>=8]\n";
+    return 1;
+  }
+
+  const auto field = std::make_shared<const problems::GridField>(
+      problems::GridField::random_hotspots(/*seed=*/21, size, size,
+                                           /*hotspots=*/7));
+  problems::GridProblem root(field);
+
+  std::cout << "Cost field " << size << "x" << size
+            << " with 7 hotspots, total cost "
+            << stats::fmt(root.weight(), 0) << "\n\n";
+
+  const auto part = core::hf_partition(root, procs);
+
+  stats::TextTable table;
+  table.set_header({"proc", "rectangle", "cells", "cost", "cost share"});
+  for (const auto& piece : part.pieces) {
+    const auto& p = piece.problem;
+    table.add_row({stats::fmt_int(piece.processor),
+                   std::to_string(p.x0()) + "," + std::to_string(p.y0()) +
+                       " .. " + std::to_string(p.x1()) + "," +
+                       std::to_string(p.y1()),
+                   stats::fmt_int(p.cells()), stats::fmt(piece.weight, 0),
+                   stats::fmt(100.0 * piece.weight / part.total_weight, 1) +
+                       "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nbalance ratio: " << stats::fmt(part.ratio(), 3)
+            << " (1.0 = perfect; ideal share = "
+            << stats::fmt(100.0 / procs, 1) << "%)\n\n";
+
+  // ASCII map: each cell shows the processor owning it (base-36).
+  const int step = std::max(1, size / 48);
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>((size + step - 1) / step),
+      std::string(static_cast<std::size_t>((size + step - 1) / step), '?'));
+  const char* digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMN";
+  for (const auto& piece : part.pieces) {
+    const auto& p = piece.problem;
+    const char c = digits[piece.processor % 50];
+    for (int y = p.y0(); y < p.y1(); y += step) {
+      for (int x = p.x0(); x < p.x1(); x += step) {
+        canvas[static_cast<std::size_t>(y / step)]
+              [static_cast<std::size_t>(x / step)] = c;
+      }
+    }
+  }
+  for (const auto& line : canvas) std::cout << line << "\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Heterogeneous cluster (extension): balance a workload onto processors of
+// different speeds.  Compares speed-aware BA / rank-matched HF with their
+// speed-oblivious originals on a mixed machine (a few fast nodes, many
+// slow ones).
+//
+//   $ ./heterogeneous_cluster [fast_nodes] [slow_nodes] [speed_factor]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/hetero.hpp"
+#include "core/lbb.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbb;
+
+  const int fast = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int slow = argc > 2 ? std::atoi(argv[2]) : 28;
+  const double factor = argc > 3 ? std::atof(argv[3]) : 4.0;
+  if (fast < 0 || slow < 0 || fast + slow < 1 || factor <= 0.0) {
+    std::cerr << "usage: heterogeneous_cluster [fast>=0] [slow>=0] "
+                 "[speed_factor>0]\n";
+    return 1;
+  }
+
+  std::vector<double> speeds;
+  for (int i = 0; i < fast; ++i) speeds.push_back(factor);
+  for (int i = 0; i < slow; ++i) speeds.push_back(1.0);
+  const auto n = static_cast<std::int32_t>(speeds.size());
+
+  const problems::SyntheticProblem problem(
+      2026, problems::AlphaDistribution::uniform(0.1, 0.5));
+
+  std::cout << "Cluster: " << fast << " nodes at speed " << factor << " + "
+            << slow << " nodes at speed 1 (" << n << " processors)\n"
+            << "quality = realized makespan / ideal makespan "
+               "(1.0 = perfect)\n\n";
+
+  const auto ba_aware = core::hetero_ba_partition(problem, speeds);
+  const auto ba_plain = core::ba_partition(problem, n);
+  const auto hf_aware = core::hetero_hf_partition(problem, speeds);
+  const auto hf_plain = core::hf_partition(problem, n);
+
+  stats::TextTable table;
+  table.set_header({"algorithm", "speed-aware", "hetero quality"});
+  table.add_row({"BA", "yes (capacity split)",
+                 stats::fmt(core::hetero_ratio(ba_aware, speeds), 3)});
+  table.add_row({"BA", "no",
+                 stats::fmt(core::hetero_ratio(ba_plain, speeds), 3)});
+  table.add_row({"HF", "yes (rank matching)",
+                 stats::fmt(core::hetero_ratio(hf_aware, speeds), 3)});
+  table.add_row({"HF", "no (identity assignment)",
+                 stats::fmt(core::hetero_ratio(hf_plain, speeds), 3)});
+  table.print(std::cout);
+
+  // Where did the weight go?  Show the fast nodes' share under aware BA.
+  double fast_share = 0.0;
+  for (const auto& piece : ba_aware.pieces) {
+    if (piece.processor < fast) fast_share += piece.weight;
+  }
+  const double fast_capacity =
+      fast * factor / (fast * factor + slow * 1.0);
+  std::cout << "\nspeed-aware BA put "
+            << stats::fmt(100.0 * fast_share, 1) << "% of the weight on the "
+            << "fast nodes (their capacity share: "
+            << stats::fmt(100.0 * fast_capacity, 1) << "%).\n"
+            << "(This generalizes the paper's identical-processor model; "
+               "with uniform speeds both\nvariants reduce exactly to the "
+               "original algorithms -- asserted in tests.)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lbb::core {
+
+TreeStats tree_statistics(const BisectionTree& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument(
+        "tree_statistics: empty tree (was record_tree enabled?)");
+  }
+  TreeStats stats;
+  lbb::stats::RunningStats alpha;
+  lbb::stats::RunningStats leaf_depth;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const BisectionTree::Node& node = tree.node(id);
+    if (node.left == kNoNode) {
+      ++stats.leaves;
+      leaf_depth.add(node.depth);
+      stats.max_depth = std::max(stats.max_depth, node.depth);
+      if (static_cast<std::size_t>(node.depth) >=
+          stats.depth_histogram.size()) {
+        stats.depth_histogram.resize(
+            static_cast<std::size_t>(node.depth) + 1, 0);
+      }
+      ++stats.depth_histogram[static_cast<std::size_t>(node.depth)];
+    } else {
+      ++stats.internal_nodes;
+      const double wl = tree.node(node.left).weight;
+      const double wr = tree.node(node.right).weight;
+      alpha.add(std::min(wl, wr) / node.weight);
+    }
+  }
+  if (alpha.count() > 0) {
+    stats.min_alpha_hat = alpha.min();
+    stats.max_alpha_hat = alpha.max();
+    stats.mean_alpha_hat = alpha.mean();
+  }
+  stats.mean_leaf_depth = leaf_depth.mean();
+  return stats;
+}
+
+}  // namespace lbb::core

@@ -1,0 +1,82 @@
+// Analysis utilities over partitions and bisection trees: the quantities
+// the paper's evaluation reports (performance ratio, spread, realized
+// bisector quality) plus structural tree statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bisection_tree.hpp"
+#include "core/partition.hpp"
+#include "stats/summary.hpp"
+
+namespace lbb::core {
+
+/// Weight statistics of a partition's pieces.
+struct PieceStats {
+  std::size_t pieces = 0;
+  std::int32_t idle_processors = 0;  ///< processors without a piece
+  double ratio = 0.0;                ///< max piece / ideal (the paper's metric)
+  double min_weight = 0.0;
+  double max_weight = 0.0;
+  double mean_weight = 0.0;
+  double stddev_weight = 0.0;
+  /// Coefficient of variation of the piece weights (stddev / mean).
+  double cv = 0.0;
+};
+
+/// Computes PieceStats for any partition.
+template <Bisectable P>
+[[nodiscard]] PieceStats piece_statistics(const Partition<P>& partition) {
+  PieceStats stats;
+  stats.pieces = partition.pieces.size();
+  stats.idle_processors =
+      partition.processors - static_cast<std::int32_t>(stats.pieces);
+  if (partition.pieces.empty()) return stats;
+  lbb::stats::RunningStats acc;
+  for (const auto& piece : partition.pieces) acc.add(piece.weight);
+  stats.ratio = partition.ratio();
+  stats.min_weight = acc.min();
+  stats.max_weight = acc.max();
+  stats.mean_weight = acc.mean();
+  stats.stddev_weight = acc.stddev();
+  stats.cv = acc.mean() > 0.0 ? acc.stddev() / acc.mean() : 0.0;
+  return stats;
+}
+
+/// Structural statistics of a recorded bisection tree.
+struct TreeStats {
+  std::size_t internal_nodes = 0;  ///< == bisections performed
+  std::size_t leaves = 0;
+  std::int32_t max_depth = 0;
+  double mean_leaf_depth = 0.0;
+  /// Realized bisection fractions min(w1,w2)/w over all internal nodes:
+  /// the empirical bisector quality of the run.
+  double min_alpha_hat = 0.0;
+  double max_alpha_hat = 0.0;
+  double mean_alpha_hat = 0.0;
+  /// Leaf count per depth (index = depth).
+  std::vector<std::int64_t> depth_histogram;
+};
+
+/// Computes TreeStats; requires a tree recorded with
+/// PartitionOptions::record_tree.  Throws on an empty tree.
+[[nodiscard]] TreeStats tree_statistics(const BisectionTree& tree);
+
+/// True if two partitions consist of the same multiset of piece weights
+/// (within absolute tolerance `tol` after sorting) -- the PHF == HF
+/// equivalence check.
+template <Bisectable P, Bisectable Q>
+[[nodiscard]] bool same_weights(const Partition<P>& a, const Partition<Q>& b,
+                                double tol = 0.0) {
+  const auto wa = a.sorted_weights();
+  const auto wb = b.sorted_weights();
+  if (wa.size() != wb.size()) return false;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    const double diff = wa[i] > wb[i] ? wa[i] - wb[i] : wb[i] - wa[i];
+    if (diff > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace lbb::core

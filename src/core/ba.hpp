@@ -1,0 +1,115 @@
+// Algorithm BA ("Best Approximation of ideal weight", Figure 3 of the
+// paper) and Algorithm BA' (Section 3.4).
+//
+// BA is inherently parallel: it bisects the problem and partitions the
+// processors between the two subproblems in proportion to their weights,
+// then recurses on both halves independently.  It requires no knowledge of
+// the bisection parameter alpha and no global communication; Theorem 7
+// bounds its ratio by ba_ratio_bound(alpha, n).
+//
+// BA' is identical except that subproblems of weight <= w(p)*r_alpha/N are
+// never bisected (their processors beyond the first stay idle).  It is used
+// by PHF's phase-1 free-processor management and appears as "BA*" in the
+// experimental tables.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/detail/build_context.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+#include "core/split.hpp"
+
+namespace lbb::core {
+
+namespace detail {
+
+/// Iterative (explicit-stack) BA recursion shared by BA, BA', and BA-HF.
+/// `prune_below`: if >= 0, subproblems of weight <= prune_below are emitted
+/// as leaves even when they hold more than one processor (Algorithm BA').
+template <Bisectable P>
+void ba_run(BuildContext<P>& ctx, P problem, std::int32_t n,
+            ProcessorId proc_lo, std::int32_t depth0, NodeId node0,
+            double prune_below) {
+  struct Frame {
+    P problem;
+    double weight;
+    std::int32_t n;
+    ProcessorId proc_lo;
+    std::int32_t depth;
+    NodeId node;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{std::move(problem), 0.0, n, proc_lo, depth0, node0});
+  stack.back().weight = stack.back().problem.weight();
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.n == 1 || (prune_below >= 0.0 && f.weight <= prune_below)) {
+      ctx.piece(std::move(f.problem), f.weight, f.proc_lo, f.depth, f.node);
+      continue;
+    }
+    auto [left, right] = f.problem.bisect();
+    double wl = left.weight();
+    double wr = right.weight();
+    if (wl < wr) {
+      std::swap(left, right);
+      std::swap(wl, wr);
+    }
+    const auto [node_l, node_r] = ctx.bisected(f.node, wl, wr);
+    const std::int32_t n1 = ba_split_processors(wl, wr, f.n);
+    const std::int32_t n2 = f.n - n1;
+    const std::int32_t depth = f.depth + 1;
+    // Heavier child keeps the low end of the processor range (the paper's
+    // "p1 stays on P_i, p2 is sent to P_{i+n1}").
+    stack.push_back(Frame{std::move(right), wr, n2,
+                          f.proc_lo + static_cast<ProcessorId>(n1), depth,
+                          node_r});
+    stack.push_back(Frame{std::move(left), wl, n1, f.proc_lo, depth, node_l});
+  }
+}
+
+}  // namespace detail
+
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA.
+/// BA needs no knowledge of alpha.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_partition(P problem, std::int32_t n,
+                                        const PartitionOptions& opt = {}) {
+  if (n < 1) throw std::invalid_argument("ba_partition: n must be >= 1");
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+  detail::ba_run(ctx, std::move(problem), n, 0, 0, root,
+                 /*prune_below=*/-1.0);
+  return out;
+}
+
+/// Partitions `problem` into at most `n` subproblems with Algorithm BA'
+/// (BA pruned at the HF phase-1 weight threshold w(p)*r_alpha/n).
+/// Unlike BA, BA' needs alpha in order to evaluate r_alpha.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_star_partition(P problem, std::int32_t n,
+                                             double alpha,
+                                             const PartitionOptions& opt = {}) {
+  if (n < 1) throw std::invalid_argument("ba_star_partition: n must be >= 1");
+  require_valid_alpha(alpha);
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+  const double threshold = phf_phase1_threshold(alpha, out.total_weight, n);
+  detail::ba_run(ctx, std::move(problem), n, 0, 0, root, threshold);
+  return out;
+}
+
+}  // namespace lbb::core

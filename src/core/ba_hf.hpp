@@ -1,0 +1,95 @@
+// Algorithm BA-HF (Figure 4 of the paper).
+//
+// Hybrid of BA and HF: while a subproblem still owns at least
+// beta/alpha + 1 processors it is split BA-style (inherently parallel, no
+// global communication); once the processor count of a subproblem drops
+// below that threshold, the subproblem is partitioned with Algorithm HF.
+// Theorem 8 bounds the ratio by e^((1-alpha)/beta) * r_alpha, which for
+// beta >= 1/ln(1+eps) is within (1+eps) of HF's guarantee.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/ba.hpp"
+#include "core/bounds.hpp"
+#include "core/detail/build_context.hpp"
+#include "core/hf.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+#include "core/split.hpp"
+
+namespace lbb::core {
+
+/// Parameters of Algorithm BA-HF.
+struct BaHfParams {
+  double alpha = 0.25;  ///< bisector quality of the problem class
+  double beta = 1.0;    ///< threshold parameter (paper's Section 3.3 / 4)
+};
+
+namespace detail {
+
+template <Bisectable P>
+void ba_hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
+               ProcessorId proc_lo, std::int32_t depth0, NodeId node0,
+               std::int32_t switch_threshold) {
+  struct Frame {
+    P problem;
+    std::int32_t n;
+    ProcessorId proc_lo;
+    std::int32_t depth;
+    NodeId node;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{std::move(problem), n, proc_lo, depth0, node0});
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.n < switch_threshold) {
+      hf_run(ctx, std::move(f.problem), f.n, f.proc_lo, f.depth, f.node);
+      continue;
+    }
+    auto [left, right] = f.problem.bisect();
+    double wl = left.weight();
+    double wr = right.weight();
+    if (wl < wr) {
+      std::swap(left, right);
+      std::swap(wl, wr);
+    }
+    const auto [node_l, node_r] = ctx.bisected(f.node, wl, wr);
+    const std::int32_t n1 = ba_split_processors(wl, wr, f.n);
+    const std::int32_t depth = f.depth + 1;
+    stack.push_back(Frame{std::move(right), f.n - n1,
+                          f.proc_lo + static_cast<ProcessorId>(n1), depth,
+                          node_r});
+    stack.push_back(Frame{std::move(left), n1, f.proc_lo, depth, node_l});
+  }
+}
+
+}  // namespace detail
+
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA-HF.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_hf_partition(P problem, std::int32_t n,
+                                           const BaHfParams& params,
+                                           const PartitionOptions& opt = {}) {
+  if (n < 1) throw std::invalid_argument("ba_hf_partition: n must be >= 1");
+  require_valid_alpha(params.alpha);
+  if (!(params.beta > 0.0)) {
+    throw std::invalid_argument("ba_hf_partition: beta must be > 0");
+  }
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+  const std::int32_t threshold =
+      ba_hf_switch_threshold(params.alpha, params.beta);
+  detail::ba_hf_run(ctx, std::move(problem), n, 0, 0, root, threshold);
+  return out;
+}
+
+}  // namespace lbb::core

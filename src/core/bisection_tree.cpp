@@ -1,0 +1,89 @@
+#include "core/bisection_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lbb::core {
+
+NodeId BisectionTree::set_root(double weight) {
+  if (!nodes_.empty()) {
+    throw std::logic_error("BisectionTree: root already set");
+  }
+  nodes_.push_back(Node{weight, kNoNode, kNoNode, kNoNode, 0});
+  return 0;
+}
+
+std::pair<NodeId, NodeId> BisectionTree::add_bisection(NodeId parent,
+                                                       double left_weight,
+                                                       double right_weight) {
+  Node& p = nodes_.at(static_cast<std::size_t>(parent));
+  if (p.left != kNoNode) {
+    throw std::logic_error("BisectionTree: node already bisected");
+  }
+  const auto left = static_cast<NodeId>(nodes_.size());
+  const auto right = static_cast<NodeId>(nodes_.size() + 1);
+  const std::int32_t depth = p.depth + 1;
+  p.left = left;
+  p.right = right;
+  nodes_.push_back(Node{left_weight, parent, kNoNode, kNoNode, depth});
+  nodes_.push_back(Node{right_weight, parent, kNoNode, kNoNode, depth});
+  return {left, right};
+}
+
+std::size_t BisectionTree::leaf_count() const {
+  return nodes_.empty() ? 0 : (nodes_.size() + 1) / 2;
+}
+
+std::vector<NodeId> BisectionTree::leaves() const {
+  std::vector<NodeId> out;
+  out.reserve(leaf_count());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].left == kNoNode) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::int32_t BisectionTree::max_leaf_depth() const {
+  std::int32_t best = 0;
+  for (const Node& n : nodes_) {
+    if (n.left == kNoNode) best = std::max(best, n.depth);
+  }
+  return best;
+}
+
+std::size_t BisectionTree::bisection_count() const {
+  return nodes_.empty() ? 0 : nodes_.size() / 2;
+}
+
+bool BisectionTree::validate(double alpha, double tol) const {
+  if (nodes_.empty()) return true;
+  double leaf_sum = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if ((n.left == kNoNode) != (n.right == kNoNode)) return false;
+    if (n.weight <= 0.0 || !std::isfinite(n.weight)) return false;
+    if (n.left == kNoNode) {
+      leaf_sum += n.weight;
+      continue;
+    }
+    const Node& l = nodes_[static_cast<std::size_t>(n.left)];
+    const Node& r = nodes_[static_cast<std::size_t>(n.right)];
+    if (l.parent != static_cast<NodeId>(i) ||
+        r.parent != static_cast<NodeId>(i)) {
+      return false;
+    }
+    const double w = n.weight;
+    if (std::abs((l.weight + r.weight) - w) > tol * w) return false;
+    const double lo = alpha * w * (1.0 - tol) - tol;
+    const double hi = (1.0 - alpha) * w * (1.0 + tol) + tol;
+    if (l.weight < lo || l.weight > hi) return false;
+    if (r.weight < lo || r.weight > hi) return false;
+  }
+  const double root = nodes_[0].weight;
+  return std::abs(leaf_sum - root) <= std::max(tol * root, tol);
+}
+
+}  // namespace lbb::core

@@ -1,0 +1,71 @@
+// Bisection trees (Section 2 of the paper).
+//
+// The run of any bisection-based load-balancing algorithm on input (p, N)
+// is represented by a binary tree: the root is p; when a problem q is
+// bisected into q1, q2, they become q's children.  Leaves are the final
+// subproblems.  The tree stores weights only; it is an audit/analysis
+// structure, not the problems themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbb::core {
+
+/// Identifier of a node within a BisectionTree.  Nodes are numbered in
+/// creation order; the root is node 0.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Weight-annotated record of every bisection performed by an algorithm run.
+class BisectionTree {
+ public:
+  struct Node {
+    double weight = 0.0;
+    NodeId parent = kNoNode;
+    NodeId left = kNoNode;   ///< heavier-or-equal child, set on bisection
+    NodeId right = kNoNode;  ///< lighter child
+    std::int32_t depth = 0;
+  };
+
+  BisectionTree() = default;
+
+  /// Creates the root node and returns its id (always 0).
+  NodeId set_root(double weight);
+
+  /// Records the bisection of `parent` into children of the given weights.
+  /// Returns the (left, right) child ids.  `parent` must be a leaf.
+  std::pair<NodeId, NodeId> add_bisection(NodeId parent, double left_weight,
+                                          double right_weight);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] bool is_leaf(NodeId id) const { return node(id).left == kNoNode; }
+
+  /// Number of leaves (== subproblems of the recorded partition).
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Ids of all leaves, in creation order.
+  [[nodiscard]] std::vector<NodeId> leaves() const;
+
+  /// Maximum depth over all leaves (root depth is 0).
+  [[nodiscard]] std::int32_t max_leaf_depth() const;
+
+  /// Number of internal nodes (== number of bisections performed).
+  [[nodiscard]] std::size_t bisection_count() const;
+
+  /// Validates the structural invariants of a bisection tree produced by a
+  /// class with alpha-bisectors:
+  ///  - every internal node has exactly two children;
+  ///  - child weights sum to the parent weight (relative tolerance `tol`);
+  ///  - each child weight lies in [alpha*w, (1-alpha)*w] (slack `tol`);
+  ///  - leaf weights sum to the root weight.
+  /// Returns true iff all invariants hold.
+  [[nodiscard]] bool validate(double alpha, double tol = 1e-9) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lbb::core

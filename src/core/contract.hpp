@@ -1,0 +1,103 @@
+// Bisector-contract checker: a diagnostic utility for authors of new
+// problem classes.
+//
+// Definition 1 requires every bisection to (a) conserve weight exactly
+// and (b) keep both children within [alpha*w, (1-alpha)*w].  The
+// algorithms do not re-verify this on every call (hot path); instead,
+// check_bisector_contract probes a problem class with randomized
+// bisection walks and reports the first violation plus the empirically
+// realized bisector quality -- run it in your tests when wiring up a new
+// Bisectable type.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::core {
+
+/// Outcome of a contract probe.
+struct ContractReport {
+  bool ok = true;
+  std::string issue;             ///< empty when ok
+  std::int64_t bisections = 0;   ///< bisections actually performed
+  double min_alpha_hat = 0.5;    ///< worst balance seen
+  double max_conservation_error = 0.0;  ///< max |w1 + w2 - w| / w
+};
+
+/// Probes `problem` with up to `max_bisections` randomized bisections
+/// (seeded frontier expansion).  Checks positivity, conservation within
+/// `tol` (relative), and -- if `declared_alpha` > 0 -- the alpha-fraction
+/// bounds.  Fragments whose weight drops to `min_weight` or below are not
+/// bisected further (substrates with indivisible atoms).
+template <Bisectable P>
+[[nodiscard]] ContractReport check_bisector_contract(
+    P problem, std::int64_t max_bisections, std::uint64_t seed,
+    double declared_alpha = 0.0, double tol = 1e-9,
+    double min_weight = 1.0) {
+  ContractReport report;
+  if (max_bisections < 1) {
+    report.ok = false;
+    report.issue = "max_bisections must be >= 1";
+    return report;
+  }
+  lbb::stats::Xoshiro256 rng(seed ^ 0xc0227ac7ULL);
+  std::vector<P> frontier;
+  frontier.push_back(std::move(problem));
+
+  while (report.bisections < max_bisections) {
+    // Pick a random splittable fragment.
+    std::vector<std::size_t> splittable;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (frontier[i].weight() > min_weight) splittable.push_back(i);
+    }
+    if (splittable.empty()) break;
+    const std::size_t pick = splittable[static_cast<std::size_t>(
+        rng.below(splittable.size()))];
+    const double w = frontier[pick].weight();
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      report.ok = false;
+      report.issue = "weight not positive/finite before bisection";
+      return report;
+    }
+    auto [a, b] = frontier[pick].bisect();
+    ++report.bisections;
+    const double wa = a.weight();
+    const double wb = b.weight();
+    if (!(wa > 0.0) || !(wb > 0.0)) {
+      report.ok = false;
+      report.issue = "bisection produced a non-positive child weight";
+      return report;
+    }
+    const double err = std::abs(wa + wb - w) / w;
+    report.max_conservation_error =
+        std::max(report.max_conservation_error, err);
+    if (err > tol) {
+      report.ok = false;
+      report.issue = "weight not conserved: |w1+w2-w|/w = " +
+                     std::to_string(err);
+      return report;
+    }
+    const double alpha_hat = std::min(wa, wb) / w;
+    report.min_alpha_hat = std::min(report.min_alpha_hat, alpha_hat);
+    if (declared_alpha > 0.0 && alpha_hat < declared_alpha - tol) {
+      report.ok = false;
+      report.issue = "alpha-fraction violated: alpha_hat = " +
+                     std::to_string(alpha_hat) + " < declared " +
+                     std::to_string(declared_alpha);
+      return report;
+    }
+    frontier[pick] = std::move(a);
+    frontier.push_back(std::move(b));
+  }
+  return report;
+}
+
+}  // namespace lbb::core

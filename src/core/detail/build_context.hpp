@@ -1,0 +1,53 @@
+// Internal helpers shared by the algorithm implementations: incremental
+// construction of a Partition<P> with optional bisection-tree recording.
+// Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+#include "core/partition.hpp"
+
+namespace lbb::core::detail {
+
+/// Accumulates pieces/bisections/tree for a Partition under construction.
+/// Algorithms push bisections and pieces through this so that composite
+/// algorithms (BA-HF) can splice sub-runs into one coherent result.
+template <Bisectable P>
+class BuildContext {
+ public:
+  BuildContext(Partition<P>& out, bool record_tree)
+      : out_(out), record_(record_tree) {}
+
+  /// Records the tree root (first call only); returns its node id.
+  NodeId root(double weight) {
+    if (!record_) return kNoNode;
+    if (out_.tree.empty()) return out_.tree.set_root(weight);
+    return 0;
+  }
+
+  /// Accounts one bisection; returns the children's node ids (or kNoNode
+  /// pair when recording is off).
+  std::pair<NodeId, NodeId> bisected(NodeId parent, double left_weight,
+                                     double right_weight) {
+    ++out_.bisections;
+    if (!record_ || parent == kNoNode) return {kNoNode, kNoNode};
+    return out_.tree.add_bisection(parent, left_weight, right_weight);
+  }
+
+  /// Emits one final piece.
+  void piece(P problem, double weight, ProcessorId processor,
+             std::int32_t depth, NodeId node) {
+    out_.max_depth = std::max(out_.max_depth, depth);
+    out_.pieces.push_back(
+        Piece<P>{std::move(problem), weight, processor, depth, node});
+  }
+
+  [[nodiscard]] bool recording() const noexcept { return record_; }
+
+ private:
+  Partition<P>& out_;
+  bool record_;
+};
+
+}  // namespace lbb::core::detail

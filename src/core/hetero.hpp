@@ -1,0 +1,180 @@
+// EXTENSION (not in the paper): load balancing onto processors with
+// heterogeneous speeds.
+//
+// The paper's model has identical processors; real clusters rarely do.
+// With speeds s_0..s_{N-1} > 0 the ideal piece for processor i weighs
+// w(p) * s_i / S (S = sum of speeds), and the quality measure becomes
+//   hetero_ratio = max_i (w(p_i) / s_i) / (w(p) / S),
+// i.e. the realized makespan over the ideal one.  Both algorithms
+// generalize naturally:
+//
+//   * BA: instead of splitting the processor *count* proportionally to the
+//     child weights, split the contiguous processor range at the index
+//     whose prefix *capacity* best approximates the weight split (the same
+//     best-approximation argmin, over capacities).
+//   * HF: the bisection process is unchanged (N pieces); the assignment
+//     matches pieces to processors by rank (heaviest piece -> fastest
+//     processor), which is optimal for one-piece-per-processor makespan by
+//     a standard exchange argument.
+//
+// With uniform speeds both reduce exactly to the paper's algorithms
+// (asserted by tests).
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/detail/build_context.hpp"
+#include "core/hf.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+
+namespace lbb::core {
+
+/// Validates speeds (all > 0, size >= 1) and returns their sum.
+[[nodiscard]] inline double total_speed(std::span<const double> speeds) {
+  if (speeds.empty()) {
+    throw std::invalid_argument("speeds must be non-empty");
+  }
+  double sum = 0.0;
+  for (const double s : speeds) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument("speeds must be strictly positive");
+    }
+    sum += s;
+  }
+  return sum;
+}
+
+/// Heterogeneous performance ratio: realized makespan / ideal makespan.
+template <Bisectable P>
+[[nodiscard]] double hetero_ratio(const Partition<P>& partition,
+                                  std::span<const double> speeds) {
+  if (speeds.size() != static_cast<std::size_t>(partition.processors)) {
+    throw std::invalid_argument("hetero_ratio: speeds size != processors");
+  }
+  const double sum = total_speed(speeds);
+  double worst = 0.0;
+  for (const auto& piece : partition.pieces) {
+    worst = std::max(
+        worst, piece.weight / speeds[static_cast<std::size_t>(
+                   piece.processor)]);
+  }
+  return worst / (partition.total_weight / sum);
+}
+
+/// Speed-aware BA: splits the processor range at the capacity point best
+/// approximating the weight split.  Reduces to ba_partition for uniform
+/// speeds.
+template <Bisectable P>
+[[nodiscard]] Partition<P> hetero_ba_partition(
+    P problem, std::span<const double> speeds,
+    const PartitionOptions& opt = {}) {
+  const auto n = static_cast<std::int32_t>(speeds.size());
+  static_cast<void>(total_speed(speeds));
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+
+  // Prefix capacities: cap(i, j) = prefix[j] - prefix[i].
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        speeds[static_cast<std::size_t>(i)];
+  }
+  auto capacity = [&](std::int32_t lo, std::int32_t hi) {
+    return prefix[static_cast<std::size_t>(hi)] -
+           prefix[static_cast<std::size_t>(lo)];
+  };
+
+  struct Frame {
+    P problem;
+    double weight;
+    std::int32_t lo, hi;  ///< processor range [lo, hi)
+    std::int32_t depth;
+    NodeId node;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{std::move(problem), out.total_weight, 0, n, 0, root});
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.hi - f.lo == 1) {
+      ctx.piece(std::move(f.problem), f.weight, f.lo, f.depth, f.node);
+      continue;
+    }
+    auto [a, b] = f.problem.bisect();
+    double wa = a.weight();
+    double wb = b.weight();
+    if (wa < wb) {
+      std::swap(a, b);
+      std::swap(wa, wb);
+    }
+    const auto [node_a, node_b] = ctx.bisected(f.node, wa, wb);
+    // Heavier child takes [lo, k), lighter [k, hi); choose k minimizing
+    // max(wa / cap(lo, k), wb / cap(k, hi)).  The first term falls and the
+    // second rises with k, so scan for the crossing.
+    std::int32_t best_k = f.lo + 1;
+    double best_load = 1e300;
+    for (std::int32_t k = f.lo + 1; k < f.hi; ++k) {
+      const double load =
+          std::max(wa / capacity(f.lo, k), wb / capacity(k, f.hi));
+      if (load < best_load) {
+        best_load = load;
+        best_k = k;
+      } else if (wa / capacity(f.lo, k) <= wb / capacity(k, f.hi)) {
+        break;  // past the crossing: loads only grow from here
+      }
+    }
+    const std::int32_t depth = f.depth + 1;
+    stack.push_back(
+        Frame{std::move(b), wb, best_k, f.hi, depth, node_b});
+    stack.push_back(Frame{std::move(a), wa, f.lo, best_k, depth, node_a});
+  }
+  return out;
+}
+
+/// Speed-aware HF: HF's bisection process followed by rank matching
+/// (heaviest piece onto fastest processor).  Reduces to hf_partition (up
+/// to processor permutation) for uniform speeds.
+template <Bisectable P>
+[[nodiscard]] Partition<P> hetero_hf_partition(
+    P problem, std::span<const double> speeds,
+    const PartitionOptions& opt = {}) {
+  const auto n = static_cast<std::int32_t>(speeds.size());
+  static_cast<void>(total_speed(speeds));
+  Partition<P> out = hf_partition(std::move(problem), n, opt);
+
+  // Rank matching: sort piece indices by weight desc, processors by speed
+  // desc, pair them up.
+  std::vector<std::int32_t> piece_order(out.pieces.size());
+  std::iota(piece_order.begin(), piece_order.end(), 0);
+  std::sort(piece_order.begin(), piece_order.end(),
+            [&](std::int32_t x, std::int32_t y) {
+              return out.pieces[static_cast<std::size_t>(x)].weight >
+                     out.pieces[static_cast<std::size_t>(y)].weight;
+            });
+  std::vector<std::int32_t> proc_order(static_cast<std::size_t>(n));
+  std::iota(proc_order.begin(), proc_order.end(), 0);
+  std::sort(proc_order.begin(), proc_order.end(),
+            [&](std::int32_t x, std::int32_t y) {
+              return speeds[static_cast<std::size_t>(x)] >
+                     speeds[static_cast<std::size_t>(y)];
+            });
+  for (std::size_t r = 0; r < piece_order.size(); ++r) {
+    out.pieces[static_cast<std::size_t>(piece_order[r])].processor =
+        proc_order[r];
+  }
+  return out;
+}
+
+}  // namespace lbb::core

@@ -1,0 +1,122 @@
+// Algorithm HF ("Heaviest Problem First", Figure 1 of the paper).
+//
+// Sequential baseline: starting from {p}, repeatedly bisect a subproblem of
+// maximum weight until N subproblems exist (N-1 bisections).  For a class
+// with alpha-bisectors, Theorem 2 guarantees
+//   max_i w(p_i) <= (w(p)/N) * r_alpha,   r_alpha = hf_ratio_bound(alpha).
+//
+// Tie-breaking: among equal-weight subproblems the one created earliest is
+// bisected first.  Algorithm PHF (src/sim/phf.hpp) uses the identical rule,
+// which makes the two partitions equal as multisets of problems, not merely
+// equal in ratio.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/detail/build_context.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+
+namespace lbb::core {
+
+namespace detail {
+
+/// Max-heap ordering used by HF and PHF: heavier first; ties broken by
+/// earlier creation sequence number.
+struct HfHeapEntry {
+  double weight;
+  std::int64_t seq;   ///< global creation order (root == 0)
+  std::int32_t slot;  ///< index into the runner's problem storage
+};
+
+struct HfHeapLess {
+  // std::priority_queue is a max-heap w.r.t. this "less-than".
+  [[nodiscard]] bool operator()(const HfHeapEntry& a,
+                                const HfHeapEntry& b) const noexcept {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.seq > b.seq;  // earlier-created wins ties
+  }
+};
+
+/// Runs HF on `problem` with `n` processors, emitting pieces with processor
+/// ids proc_lo .. proc_lo+n-1 and depths offset by `depth0`.  Used directly
+/// by hf_partition and as the second phase of BA-HF.
+template <Bisectable P>
+void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
+            ProcessorId proc_lo, std::int32_t depth0, NodeId node0) {
+  struct Slot {
+    P problem;
+    std::int32_t depth;
+    NodeId node;
+  };
+  const double w0 = problem.weight();
+  if (n == 1) {
+    ctx.piece(std::move(problem), w0, proc_lo, depth0, node0);
+    return;
+  }
+
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  std::priority_queue<HfHeapEntry, std::vector<HfHeapEntry>, HfHeapLess> heap;
+  std::int64_t next_seq = 0;
+
+  slots.push_back(Slot{std::move(problem), depth0, node0});
+  heap.push(HfHeapEntry{w0, next_seq++, 0});
+
+  while (heap.size() < static_cast<std::size_t>(n)) {
+    const HfHeapEntry top = heap.top();
+    heap.pop();
+    Slot& s = slots[static_cast<std::size_t>(top.slot)];
+    auto [left, right] = s.problem.bisect();
+    double wl = left.weight();
+    double wr = right.weight();
+    // Canonical order: left is the heavier-or-equal child.
+    if (wl < wr) {
+      std::swap(left, right);
+      std::swap(wl, wr);
+    }
+    const auto [node_l, node_r] = ctx.bisected(s.node, wl, wr);
+    const std::int32_t depth = s.depth + 1;
+    // Reuse the parent's slot for the left child.
+    s = Slot{std::move(left), depth, node_l};
+    heap.push(HfHeapEntry{wl, next_seq++, top.slot});
+    const auto right_slot = static_cast<std::int32_t>(slots.size());
+    slots.push_back(Slot{std::move(right), depth, node_r});
+    heap.push(HfHeapEntry{wr, next_seq++, right_slot});
+  }
+
+  // Drain: assign processors in slot (creation) order for determinism.
+  std::vector<double> weight_of(slots.size());
+  while (!heap.empty()) {
+    weight_of[static_cast<std::size_t>(heap.top().slot)] = heap.top().weight;
+    heap.pop();
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& s = slots[i];
+    ctx.piece(std::move(s.problem), weight_of[i],
+              proc_lo + static_cast<ProcessorId>(i), s.depth, s.node);
+  }
+}
+
+}  // namespace detail
+
+/// Partitions `problem` into exactly `n` subproblems with Algorithm HF.
+template <Bisectable P>
+[[nodiscard]] Partition<P> hf_partition(P problem, std::int32_t n,
+                                        const PartitionOptions& opt = {}) {
+  if (n < 1) throw std::invalid_argument("hf_partition: n must be >= 1");
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+  detail::hf_run(ctx, std::move(problem), n, /*proc_lo=*/0, /*depth0=*/0,
+                 root);
+  return out;
+}
+
+}  // namespace lbb::core

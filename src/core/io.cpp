@@ -1,0 +1,26 @@
+#include "core/io.hpp"
+
+namespace lbb::core {
+
+void write_tree_json(std::ostream& os, const BisectionTree& tree) {
+  os << "{\"nodes\":[";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto& node = tree.node(static_cast<NodeId>(i));
+    if (i) os << ',';
+    os << "{\"weight\":" << node.weight << ",\"parent\":" << node.parent
+       << ",\"left\":" << node.left << ",\"right\":" << node.right
+       << ",\"depth\":" << node.depth << "}";
+  }
+  os << "],\"leaves\":" << tree.leaf_count()
+     << ",\"bisections\":" << tree.bisection_count()
+     << ",\"max_depth\":" << tree.max_leaf_depth() << "}";
+}
+
+std::string tree_json(const BisectionTree& tree) {
+  std::ostringstream os;
+  os.precision(17);
+  write_tree_json(os, tree);
+  return os.str();
+}
+
+}  // namespace lbb::core

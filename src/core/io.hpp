@@ -1,0 +1,53 @@
+// JSON export of partitions and bisection trees, so downstream tooling
+// (plotting scripts, dashboards) can consume results without parsing the
+// human-readable tables.  Hand-rolled writer; output is plain ASCII JSON.
+// (Simulation-metrics JSON lives in sim/metrics.hpp to keep layering:
+// core does not depend on sim.)
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/bisection_tree.hpp"
+#include "core/partition.hpp"
+
+namespace lbb::core {
+
+/// JSON for one partition: processors, total weight, ratio, and the
+/// per-piece (processor, weight, depth) triples.
+template <Bisectable P>
+void write_partition_json(std::ostream& os, const Partition<P>& partition) {
+  os << "{\"processors\":" << partition.processors
+     << ",\"total_weight\":" << partition.total_weight
+     << ",\"bisections\":" << partition.bisections
+     << ",\"max_depth\":" << partition.max_depth;
+  if (!partition.pieces.empty()) {
+    os << ",\"ratio\":" << partition.ratio();
+  }
+  os << ",\"pieces\":[";
+  bool first = true;
+  for (const auto& piece : partition.pieces) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"processor\":" << piece.processor
+       << ",\"weight\":" << piece.weight << ",\"depth\":" << piece.depth
+       << "}";
+  }
+  os << "]}";
+}
+
+/// Convenience: partition JSON as a string.
+template <Bisectable P>
+[[nodiscard]] std::string partition_json(const Partition<P>& partition) {
+  std::ostringstream os;
+  os.precision(17);
+  write_partition_json(os, partition);
+  return os.str();
+}
+
+/// JSON for a recorded bisection tree (node array with parent links).
+void write_tree_json(std::ostream& os, const BisectionTree& tree);
+[[nodiscard]] std::string tree_json(const BisectionTree& tree);
+
+}  // namespace lbb::core

@@ -1,0 +1,25 @@
+// Umbrella header for the lbb core library: load balancing for problem
+// classes with good bisectors (Bischof, Ebner, Erlebach, IPPS 1999).
+//
+// Quick start:
+//
+//   #include "core/lbb.hpp"
+//
+//   MyProblem p = ...;                       // satisfies lbb::core::Bisectable
+//   auto part = lbb::core::hf_partition(std::move(p), 64);
+//   double ratio = part.ratio();             // max piece / ideal piece
+//
+// Algorithms: hf_partition (sequential baseline), ba_partition (inherently
+// parallel, alpha-oblivious), ba_star_partition (threshold-pruned BA),
+// ba_hf_partition (hybrid).  Parallel-machine executions of PHF/BA/BA-HF
+// with time and communication accounting live in src/sim.
+#pragma once
+
+#include "core/ba.hpp"       // IWYU pragma: export
+#include "core/ba_hf.hpp"    // IWYU pragma: export
+#include "core/bisection_tree.hpp"  // IWYU pragma: export
+#include "core/bounds.hpp"   // IWYU pragma: export
+#include "core/hf.hpp"       // IWYU pragma: export
+#include "core/partition.hpp"  // IWYU pragma: export
+#include "core/problem.hpp"  // IWYU pragma: export
+#include "core/split.hpp"    // IWYU pragma: export

@@ -1,0 +1,120 @@
+// Weight-oblivious baseline strategies (ablation).
+//
+// The paper's algorithms exploit two pieces of information: the *weights*
+// of subproblems (HF bisects the heaviest; BA splits processors in
+// proportion) and the guaranteed bisector quality alpha.  Related work
+// ([Kumar et al.], cited by the paper as "alpha-splitting") assumes
+// weights are *unknown* to the balancer.  These baselines quantify what
+// weight information buys:
+//
+//   * kBreadthFirst -- bisect subproblems in creation (FIFO) order: the
+//     natural "split everything level by level" strategy.
+//   * kDepthFirst   -- always bisect the most recently created subproblem
+//     (keeps re-splitting one branch).
+//   * kRandom       -- bisect a uniformly random subproblem.
+//
+// All three perform exactly N-1 bisections, like HF, but choose *which*
+// problem to bisect without looking at weights.  The ablation bench
+// (bench/ablation_oblivious) shows their ratios growing with N while HF's
+// stays constant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/detail/build_context.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::core {
+
+/// Which subproblem a weight-oblivious balancer bisects next.
+enum class ObliviousStrategy {
+  kBreadthFirst,  ///< oldest first (FIFO / level order)
+  kDepthFirst,    ///< newest first (LIFO)
+  kRandom,        ///< uniformly random (seeded)
+};
+
+[[nodiscard]] constexpr const char* oblivious_strategy_name(
+    ObliviousStrategy s) {
+  switch (s) {
+    case ObliviousStrategy::kBreadthFirst:
+      return "oblivious-BFS";
+    case ObliviousStrategy::kDepthFirst:
+      return "oblivious-DFS";
+    case ObliviousStrategy::kRandom:
+      return "oblivious-random";
+  }
+  return "?";
+}
+
+/// Partitions `problem` into exactly `n` subproblems without ever
+/// consulting subproblem weights (weights are still recorded in the result
+/// for evaluation).  `seed` is used by kRandom only.
+template <Bisectable P>
+[[nodiscard]] Partition<P> oblivious_partition(P problem, std::int32_t n,
+                                               ObliviousStrategy strategy,
+                                               std::uint64_t seed = 0,
+                                               const PartitionOptions& opt = {}) {
+  if (n < 1) {
+    throw std::invalid_argument("oblivious_partition: n must be >= 1");
+  }
+  Partition<P> out;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  detail::BuildContext<P> ctx(out, opt.record_tree);
+  const NodeId root = ctx.root(out.total_weight);
+
+  struct Item {
+    P problem;
+    double weight;
+    std::int32_t depth;
+    NodeId node;
+  };
+  std::deque<Item> pending;
+  pending.push_back(Item{std::move(problem), out.total_weight, 0, root});
+  lbb::stats::Xoshiro256 rng(seed ^ 0xb10c0b5e55ULL);
+
+  while (pending.size() < static_cast<std::size_t>(n)) {
+    // Pick the victim index according to the strategy.
+    std::size_t victim = 0;
+    switch (strategy) {
+      case ObliviousStrategy::kBreadthFirst:
+        victim = 0;
+        break;
+      case ObliviousStrategy::kDepthFirst:
+        victim = pending.size() - 1;
+        break;
+      case ObliviousStrategy::kRandom:
+        victim = static_cast<std::size_t>(rng.below(pending.size()));
+        break;
+    }
+    Item item = std::move(pending[victim]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(victim));
+
+    auto [a, b] = item.problem.bisect();
+    double wa = a.weight();
+    double wb = b.weight();
+    if (wa < wb) {
+      std::swap(a, b);
+      std::swap(wa, wb);
+    }
+    const auto [node_a, node_b] = ctx.bisected(item.node, wa, wb);
+    const std::int32_t depth = item.depth + 1;
+    pending.push_back(Item{std::move(a), wa, depth, node_a});
+    pending.push_back(Item{std::move(b), wb, depth, node_b});
+  }
+
+  ProcessorId proc = 0;
+  for (Item& item : pending) {
+    ctx.piece(std::move(item.problem), item.weight, proc++, item.depth,
+              item.node);
+  }
+  return out;
+}
+
+}  // namespace lbb::core

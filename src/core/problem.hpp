@@ -1,0 +1,78 @@
+// Problem model: classes of problems with alpha-bisectors (Definition 1 of
+// the paper).
+//
+// A class P of problems with weight function w has alpha-bisectors
+// (0 < alpha <= 1/2) if every p in P can be divided into p1, p2 with
+//   w(p1) + w(p2) = w(p)   and   w(p1), w(p2) in [alpha w(p), (1-alpha) w(p)].
+//
+// The load-balancing algorithms in this library are templates over any type
+// satisfying the Bisectable concept below; a type-erased AnyProblem is
+// provided for API boundaries where templates are inconvenient.
+#pragma once
+
+#include <concepts>
+#include <memory>
+#include <utility>
+
+namespace lbb::core {
+
+/// A problem that can report its weight and be bisected into two
+/// subproblems.  bisect() may consume/mutate the problem; algorithms call it
+/// at most once per problem instance.  Weights must be positive and satisfy
+/// w(p1) + w(p2) == w(p) up to floating-point rounding.
+template <typename P>
+concept Bisectable =
+    std::movable<P> && requires(P& p, const P& cp) {
+      { cp.weight() } -> std::convertible_to<double>;
+      { p.bisect() } -> std::convertible_to<std::pair<P, P>>;
+    };
+
+/// Type-erased problem handle (for non-template API surfaces and examples
+/// mixing problem classes).  Wraps any Bisectable type.
+class AnyProblem {
+ public:
+  AnyProblem() = default;
+
+  template <Bisectable P>
+    requires(!std::same_as<std::decay_t<P>, AnyProblem>)
+  explicit AnyProblem(P problem)
+      : impl_(std::make_unique<Model<P>>(std::move(problem))) {}
+
+  AnyProblem(AnyProblem&&) noexcept = default;
+  AnyProblem& operator=(AnyProblem&&) noexcept = default;
+
+  /// True if this handle holds a problem.
+  [[nodiscard]] bool has_value() const noexcept { return impl_ != nullptr; }
+
+  /// Weight of the wrapped problem.  Requires has_value().
+  [[nodiscard]] double weight() const { return impl_->weight(); }
+
+  /// Bisects the wrapped problem.  Requires has_value().
+  [[nodiscard]] std::pair<AnyProblem, AnyProblem> bisect() {
+    return impl_->bisect();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    [[nodiscard]] virtual double weight() const = 0;
+    [[nodiscard]] virtual std::pair<AnyProblem, AnyProblem> bisect() = 0;
+  };
+
+  template <Bisectable P>
+  struct Model final : Concept {
+    explicit Model(P problem) : value(std::move(problem)) {}
+    [[nodiscard]] double weight() const override { return value.weight(); }
+    [[nodiscard]] std::pair<AnyProblem, AnyProblem> bisect() override {
+      auto [a, b] = value.bisect();
+      return {AnyProblem(std::move(a)), AnyProblem(std::move(b))};
+    }
+    P value;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+static_assert(Bisectable<AnyProblem>);
+
+}  // namespace lbb::core

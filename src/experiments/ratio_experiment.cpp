@@ -1,0 +1,132 @@
+#include "experiments/ratio_experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/lbb.hpp"
+#include "stats/csv.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::experiments {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kBA:
+      return "BA";
+    case Algo::kBAStar:
+      return "BA*";
+    case Algo::kBAHF:
+      return "BA-HF";
+    case Algo::kHF:
+      return "HF";
+  }
+  return "?";
+}
+
+const RatioCell& RatioExperimentResult::cell(Algo algo,
+                                             std::int32_t log2_n) const {
+  for (const RatioCell& c : cells) {
+    if (c.algo == algo && c.log2_n == log2_n) return c;
+  }
+  throw std::out_of_range("RatioExperimentResult::cell: no such cell");
+}
+
+double ratio_of(Algo algo, std::uint64_t seed, const AlphaDistribution& dist,
+                std::int32_t n, double beta) {
+  SyntheticProblem root(seed, dist);
+  const double alpha = dist.lower_bound();
+  switch (algo) {
+    case Algo::kBA:
+      return lbb::core::ba_partition(root, n).ratio();
+    case Algo::kBAStar:
+      return lbb::core::ba_star_partition(root, n, alpha).ratio();
+    case Algo::kBAHF:
+      return lbb::core::ba_hf_partition(root, n,
+                                        lbb::core::BaHfParams{alpha, beta})
+          .ratio();
+    case Algo::kHF:
+      return lbb::core::hf_partition(root, n).ratio();
+  }
+  throw std::invalid_argument("ratio_of: bad algorithm");
+}
+
+namespace {
+
+double upper_bound_of(Algo algo, double alpha, double beta, std::int32_t n) {
+  switch (algo) {
+    case Algo::kBA:
+      return lbb::core::ba_ratio_bound(alpha, n);
+    case Algo::kBAStar:
+      return lbb::core::ba_star_ratio_bound(alpha, n);
+    case Algo::kBAHF:
+      return lbb::core::ba_hf_ratio_bound(alpha, beta, n);
+    case Algo::kHF:
+      return lbb::core::hf_ratio_bound(alpha);
+  }
+  throw std::invalid_argument("upper_bound_of: bad algorithm");
+}
+
+}  // namespace
+
+void write_ratio_csv(const RatioExperimentResult& result,
+                     const std::string& path) {
+  lbb::stats::CsvWriter csv;
+  csv.set_header({"algo", "log2_n", "trials", "upper_bound", "min", "mean",
+                  "max", "stddev"});
+  for (const RatioCell& cell : result.cells) {
+    csv.add_row({algo_name(cell.algo), std::to_string(cell.log2_n),
+                 std::to_string(cell.trials), std::to_string(cell.upper_bound),
+                 std::to_string(cell.ratio.min()),
+                 std::to_string(cell.ratio.mean()),
+                 std::to_string(cell.ratio.max()),
+                 std::to_string(cell.ratio.stddev())});
+  }
+  csv.write_file(path);
+}
+
+RatioExperimentResult run_ratio_experiment(
+    const RatioExperimentConfig& config) {
+  if (config.trials < 1) {
+    throw std::invalid_argument("run_ratio_experiment: trials must be >= 1");
+  }
+  RatioExperimentResult result;
+  result.config = config;
+  const double alpha = config.dist.lower_bound();
+
+  for (const Algo algo : config.algos) {
+    for (const std::int32_t k : config.log2_n) {
+      if (k < 0 || k > 30) {
+        throw std::invalid_argument("run_ratio_experiment: bad log2_n");
+      }
+      const std::int32_t n = 1 << k;
+      std::int32_t trials = config.trials;
+      if (config.bisection_budget > 0) {
+        const auto cap = static_cast<std::int32_t>(std::max<std::int64_t>(
+            config.bisection_budget / std::max<std::int64_t>(n, 1),
+            config.min_trials));
+        trials = std::min(trials, cap);
+      }
+      RatioCell cell;
+      cell.algo = algo;
+      cell.log2_n = k;
+      cell.trials = trials;
+      cell.upper_bound = upper_bound_of(algo, alpha, config.beta, n);
+      for (std::int32_t t = 0; t < trials; ++t) {
+        // Instance seed depends on the trial only: all algorithms and all
+        // N share instances where possible (paired comparison).
+        const std::uint64_t instance_seed =
+            lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+        cell.ratio.add(
+            ratio_of(algo, instance_seed, config.dist, n, config.beta));
+      }
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace lbb::experiments

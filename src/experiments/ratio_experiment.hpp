@@ -1,0 +1,84 @@
+// The paper's Section-4 simulation protocol, reusable by benches and tests.
+//
+// Stochastic model: every bisection's alpha-hat is i.i.d. from a given
+// distribution (the paper uses U[alpha_lo, alpha_hi]); for each processor
+// count N = 2^k and each algorithm, `trials` independent instances are
+// partitioned and the performance ratio max_i w(p_i) / (w(p)/N) is
+// recorded (min / mean / max / variance), next to the worst-case upper
+// bound computed from the theorems.
+//
+// All algorithms see the *same* instances (path-hashed randomness), so the
+// comparisons are paired exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "problems/alpha_dist.hpp"
+#include "stats/summary.hpp"
+
+namespace lbb::experiments {
+
+/// Algorithms of the paper's experimental comparison.
+enum class Algo {
+  kBA,      ///< Algorithm BA
+  kBAStar,  ///< Algorithm BA' ("BA*" in Table 1)
+  kBAHF,    ///< Algorithm BA-HF
+  kHF,      ///< Algorithm HF (== PHF's partition)
+};
+
+[[nodiscard]] const char* algo_name(Algo algo);
+
+/// Configuration of one ratio experiment.
+struct RatioExperimentConfig {
+  lbb::problems::AlphaDistribution dist =
+      lbb::problems::AlphaDistribution::uniform(0.01, 0.5);
+  double beta = 1.0;              ///< BA-HF threshold parameter
+  std::vector<std::int32_t> log2_n = {5, 10, 15, 20};
+  std::int32_t trials = 1000;
+  std::uint64_t seed = 1;
+  std::vector<Algo> algos = {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF};
+  /// If > 0, trials for large N are reduced so that trials * N does not
+  /// exceed this budget (per algorithm and cell); sample variance in this
+  /// model is tiny (the paper makes the same observation), so the means
+  /// remain stable.  Set 0 for the paper-faithful fixed trial count.
+  std::int64_t bisection_budget = 0;
+  /// Floor for the reduced trial count when bisection_budget is active.
+  std::int32_t min_trials = 25;
+};
+
+/// Observed statistics of one (algorithm, N) cell.
+struct RatioCell {
+  Algo algo{};
+  std::int32_t log2_n = 0;
+  std::int32_t trials = 0;
+  double upper_bound = 0.0;  ///< worst-case ratio from the theorems
+  lbb::stats::RunningStats ratio;
+};
+
+/// Result of a full experiment (cells in algos-major, log2_n-minor order).
+struct RatioExperimentResult {
+  RatioExperimentConfig config;
+  std::vector<RatioCell> cells;
+
+  /// The cell for (algo, log2_n); throws if absent.
+  [[nodiscard]] const RatioCell& cell(Algo algo, std::int32_t log2_n) const;
+};
+
+/// Runs the experiment.  Deterministic in `config.seed`.
+[[nodiscard]] RatioExperimentResult run_ratio_experiment(
+    const RatioExperimentConfig& config);
+
+/// Writes one row per (algorithm, log2_n) cell -- columns: algo, log2_n,
+/// trials, upper_bound, min, mean, max, stddev -- to a CSV file.
+void write_ratio_csv(const RatioExperimentResult& result,
+                     const std::string& path);
+
+/// Convenience for single measurements: the ratio achieved by `algo` on the
+/// synthetic instance (seed, dist) with n processors.
+[[nodiscard]] double ratio_of(Algo algo, std::uint64_t seed,
+                              const lbb::problems::AlphaDistribution& dist,
+                              std::int32_t n, double beta);
+
+}  // namespace lbb::experiments

@@ -1,0 +1,110 @@
+#include "experiments/timing_experiment.hpp"
+
+#include <stdexcept>
+
+#include "problems/synthetic.hpp"
+#include "sim/par_ba.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::experiments {
+
+using lbb::problems::SyntheticProblem;
+
+const char* par_algo_name(ParAlgo algo) {
+  switch (algo) {
+    case ParAlgo::kPHFOracle:
+      return "PHF(oracle)";
+    case ParAlgo::kPHFBaPrime:
+      return "PHF(BA')";
+    case ParAlgo::kPHFProbe:
+      return "PHF(probe)";
+    case ParAlgo::kBA:
+      return "BA";
+    case ParAlgo::kBAHF:
+      return "BA-HF";
+    case ParAlgo::kSeqHF:
+      return "HF(seq)";
+  }
+  return "?";
+}
+
+const TimingCell& TimingExperimentResult::cell(ParAlgo algo,
+                                               std::int32_t log2_n) const {
+  for (const TimingCell& c : cells) {
+    if (c.algo == algo && c.log2_n == log2_n) return c;
+  }
+  throw std::out_of_range("TimingExperimentResult::cell: no such cell");
+}
+
+double sequential_hf_time(std::int32_t n, const lbb::sim::CostModel& cost) {
+  if (n < 1) throw std::invalid_argument("sequential_hf_time: n < 1");
+  return static_cast<double>(n - 1) * (cost.t_bisect + cost.t_send);
+}
+
+TimingExperimentResult run_timing_experiment(
+    const TimingExperimentConfig& config) {
+  TimingExperimentResult result;
+  result.config = config;
+  const double alpha = config.dist.lower_bound();
+
+  for (const ParAlgo algo : config.algos) {
+    for (const std::int32_t k : config.log2_n) {
+      const std::int32_t n = 1 << k;
+      TimingCell cell;
+      cell.algo = algo;
+      cell.log2_n = k;
+      for (std::int32_t t = 0; t < config.trials; ++t) {
+        const std::uint64_t instance_seed =
+            lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+        SyntheticProblem root(instance_seed, config.dist);
+        lbb::sim::SimMetrics metrics;
+        switch (algo) {
+          case ParAlgo::kPHFOracle: {
+            lbb::sim::PhfSimOptions opt;
+            opt.manager = lbb::sim::FreeProcManager::kOracle;
+            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
+                          .metrics;
+            break;
+          }
+          case ParAlgo::kPHFBaPrime: {
+            lbb::sim::PhfSimOptions opt;
+            opt.manager = lbb::sim::FreeProcManager::kBaPrime;
+            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
+                          .metrics;
+            break;
+          }
+          case ParAlgo::kPHFProbe: {
+            lbb::sim::PhfSimOptions opt;
+            opt.manager = lbb::sim::FreeProcManager::kRandomProbe;
+            opt.probe_seed = instance_seed;
+            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
+                          .metrics;
+            break;
+          }
+          case ParAlgo::kBA:
+            metrics = lbb::sim::ba_simulate(root, n, config.cost).metrics;
+            break;
+          case ParAlgo::kBAHF:
+            metrics = lbb::sim::ba_hf_simulate(root, n, alpha, config.beta,
+                                               config.cost)
+                          .metrics;
+            break;
+          case ParAlgo::kSeqHF:
+            metrics.makespan = sequential_hf_time(n, config.cost);
+            metrics.messages = n - 1;
+            metrics.collective_ops = 0;
+            break;
+        }
+        cell.makespan.add(metrics.makespan);
+        cell.messages.add(static_cast<double>(metrics.messages));
+        cell.collective_ops.add(static_cast<double>(metrics.collective_ops));
+        cell.phase2_iterations.add(
+            static_cast<double>(metrics.phase2_iterations));
+      }
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace lbb::experiments

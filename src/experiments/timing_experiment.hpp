@@ -1,0 +1,69 @@
+// Simulated running-time / communication experiment (Theorems 3, 7, 8 and
+// the Section-5 discussion): parallel makespan, message counts, and
+// collective-operation counts of PHF / BA / BA-HF versus N, next to the
+// Theta(N) time of sequential HF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "problems/alpha_dist.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/phf.hpp"
+#include "stats/summary.hpp"
+
+namespace lbb::experiments {
+
+/// Which simulated execution a timing row describes.
+enum class ParAlgo {
+  kPHFOracle,   ///< PHF, idealized free-processor manager
+  kPHFBaPrime,  ///< PHF, BA'-based manager (Section 3.4)
+  kPHFProbe,    ///< PHF, randomized-probing manager (work-stealing style)
+  kBA,          ///< BA with range-based management
+  kBAHF,        ///< BA-HF with sequential-HF second phase
+  kSeqHF,       ///< sequential HF on P_1 (analytic model)
+};
+
+[[nodiscard]] const char* par_algo_name(ParAlgo algo);
+
+struct TimingExperimentConfig {
+  lbb::problems::AlphaDistribution dist =
+      lbb::problems::AlphaDistribution::uniform(0.1, 0.5);
+  double beta = 1.0;
+  std::vector<std::int32_t> log2_n = {5, 8, 11, 14, 17};
+  std::int32_t trials = 20;
+  std::uint64_t seed = 7;
+  lbb::sim::CostModel cost;
+  std::vector<ParAlgo> algos = {ParAlgo::kPHFOracle, ParAlgo::kPHFBaPrime,
+                                ParAlgo::kPHFProbe, ParAlgo::kBA,
+                                ParAlgo::kBAHF, ParAlgo::kSeqHF};
+};
+
+/// Per-(algo, N) aggregated metrics.
+struct TimingCell {
+  ParAlgo algo{};
+  std::int32_t log2_n = 0;
+  lbb::stats::RunningStats makespan;
+  lbb::stats::RunningStats messages;
+  lbb::stats::RunningStats collective_ops;
+  lbb::stats::RunningStats phase2_iterations;  ///< PHF only
+};
+
+struct TimingExperimentResult {
+  TimingExperimentConfig config;
+  std::vector<TimingCell> cells;
+
+  [[nodiscard]] const TimingCell& cell(ParAlgo algo,
+                                       std::int32_t log2_n) const;
+};
+
+/// Simulated time of sequential HF distributing N pieces from P_1: N-1
+/// bisections and N-1 sends, serialized on one processor.
+[[nodiscard]] double sequential_hf_time(std::int32_t n,
+                                        const lbb::sim::CostModel& cost);
+
+[[nodiscard]] TimingExperimentResult run_timing_experiment(
+    const TimingExperimentConfig& config);
+
+}  // namespace lbb::experiments

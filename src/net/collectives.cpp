@@ -1,0 +1,171 @@
+#include "net/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lbb::net {
+
+namespace {
+
+void require_nonempty(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("collective on zero processors");
+  }
+}
+
+}  // namespace
+
+std::int32_t log2_ceil(std::int64_t n) {
+  if (n <= 1) return 0;
+  std::int32_t k = 0;
+  std::int64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+CollectiveStats broadcast(std::span<double> values, std::int32_t root) {
+  require_nonempty(values.size());
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (root < 0 || root >= n) {
+    throw std::invalid_argument("broadcast: root out of range");
+  }
+  CollectiveStats stats;
+  // Work in root-relative ranks: rank r corresponds to processor
+  // (root + r) mod n.  In round k, every rank r < 2^k sends to r + 2^k.
+  auto proc = [&](std::int64_t rank) {
+    return static_cast<std::size_t>((root + rank) % n);
+  };
+  std::vector<char> has(static_cast<std::size_t>(n), 0);
+  has[0] = 1;
+  for (std::int64_t span = 1; span < n; span <<= 1) {
+    ++stats.rounds;
+    for (std::int64_t r = 0; r < span && r + span < n; ++r) {
+      // rank r (which already holds the value) sends to rank r + span.
+      values[proc(r + span)] = values[proc(r)];
+      if (!has[static_cast<std::size_t>(r)]) {
+        throw std::logic_error("broadcast: schedule error");
+      }
+      has[static_cast<std::size_t>(r + span)] = 1;
+      ++stats.messages;
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+template <typename Combine>
+CollectiveStats binomial_reduce(std::span<double> values, Combine combine) {
+  require_nonempty(values.size());
+  const auto n = static_cast<std::int64_t>(values.size());
+  CollectiveStats stats;
+  // In round k (span = 2^k), every rank r with r % (2 span) == 0 receives
+  // from r + span (if it exists).
+  for (std::int64_t span = 1; span < n; span <<= 1) {
+    ++stats.rounds;
+    for (std::int64_t r = 0; r + span < n; r += 2 * span) {
+      values[static_cast<std::size_t>(r)] =
+          combine(values[static_cast<std::size_t>(r)],
+                  values[static_cast<std::size_t>(r + span)]);
+      ++stats.messages;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+CollectiveStats reduce_max(std::span<double> values) {
+  return binomial_reduce(values,
+                         [](double a, double b) { return std::max(a, b); });
+}
+
+CollectiveStats reduce_sum(std::span<double> values) {
+  return binomial_reduce(values, [](double a, double b) { return a + b; });
+}
+
+CollectiveStats all_reduce_max(std::span<double> values) {
+  CollectiveStats stats = reduce_max(values);
+  stats += broadcast(values, 0);
+  return stats;
+}
+
+CollectiveStats prefix_sum(std::span<double> values) {
+  require_nonempty(values.size());
+  const auto n = static_cast<std::int64_t>(values.size());
+  CollectiveStats stats;
+  std::vector<double> incoming(values.size());
+  for (std::int64_t span = 1; span < n; span <<= 1) {
+    ++stats.rounds;
+    // Every processor i >= span receives partial sum from i - span.
+    for (std::int64_t i = span; i < n; ++i) {
+      incoming[static_cast<std::size_t>(i)] =
+          values[static_cast<std::size_t>(i - span)];
+      ++stats.messages;
+    }
+    for (std::int64_t i = span; i < n; ++i) {
+      values[static_cast<std::size_t>(i)] +=
+          incoming[static_cast<std::size_t>(i)];
+    }
+  }
+  return stats;
+}
+
+CollectiveStats barrier(std::int32_t n) {
+  if (n < 1) throw std::invalid_argument("barrier: n < 1");
+  CollectiveStats stats;
+  // Dissemination barrier: in round k every processor signals the
+  // processor (i + 2^k) mod n.
+  for (std::int64_t span = 1; span < n; span <<= 1) {
+    ++stats.rounds;
+    stats.messages += n;
+  }
+  return stats;
+}
+
+CollectiveStats bitonic_sort_desc(std::vector<KeyId>& items) {
+  require_nonempty(items.size());
+  CollectiveStats stats;
+  const std::size_t n = items.size();
+  // Pad to a power of two with -inf sentinels (they sink to the end).
+  std::size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  std::vector<KeyId> a = items;
+  a.resize(padded,
+           KeyId{-std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<std::int32_t>::max()});
+
+  // Descending order with ascending-id tie-break == HF's heap order.
+  auto before = [](const KeyId& x, const KeyId& y) {
+    if (x.key != y.key) return x.key > y.key;
+    return x.id < y.id;
+  };
+
+  for (std::size_t k = 2; k <= padded; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      ++stats.rounds;  // one compare-exchange round across all processors
+      for (std::size_t i = 0; i < padded; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner <= i) continue;
+        ++stats.messages;  // pairwise exchange
+        const bool ascending_block = (i & k) != 0;
+        // For a descending final order, "ascending_block" segments must be
+        // ordered worst-first.
+        const bool in_order = before(a[i], a[partner]);
+        if (ascending_block == in_order) {
+          std::swap(a[i], a[partner]);
+        }
+      }
+    }
+  }
+  a.resize(n);
+  items = std::move(a);
+  return stats;
+}
+
+}  // namespace lbb::net

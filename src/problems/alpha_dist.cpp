@@ -1,0 +1,25 @@
+#include "problems/alpha_dist.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lbb::problems {
+
+std::string AlphaDistribution::describe() const {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2);
+  switch (kind_) {
+    case Kind::kUniform:
+      ss << "U[" << lo_ << "," << hi_ << "]";
+      break;
+    case Kind::kPoint:
+      ss << "point(" << lo_ << ")";
+      break;
+    case Kind::kTwoPoint:
+      ss << "{" << lo_ << "|" << hi_ << "}";
+      break;
+  }
+  return ss.str();
+}
+
+}  // namespace lbb::problems

@@ -1,0 +1,77 @@
+// Distributions of the realized bisection fraction alpha-hat.
+//
+// Section 4 of the paper evaluates the algorithms under a stochastic model:
+// every bisection of a problem of weight w yields children of weight
+// alpha_hat*w and (1-alpha_hat)*w, with alpha_hat drawn i.i.d. from
+// U[alpha_lo, alpha_hi] (0 < alpha_lo <= alpha_hi <= 1/2).  This header
+// provides that distribution plus degenerate/adversarial variants used in
+// the extended experiments.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lbb::problems {
+
+/// Distribution over [lo, hi] (subset of (0, 1/2]) from which each
+/// bisection's alpha-hat is drawn.  Sampling is driven by an externally
+/// supplied uniform variate in [0,1) so the draw can be path-hashed and
+/// perfectly reproducible (see SyntheticProblem).
+class AlphaDistribution {
+ public:
+  enum class Kind {
+    kUniform,   ///< alpha-hat ~ U[lo, hi] -- the paper's model
+    kPoint,     ///< alpha-hat == lo deterministically
+    kTwoPoint,  ///< alpha-hat in {lo, hi} with probability 1/2 each
+  };
+
+  /// U[lo, hi]; requires 0 < lo <= hi <= 1/2.
+  static AlphaDistribution uniform(double lo, double hi) {
+    return AlphaDistribution(Kind::kUniform, lo, hi);
+  }
+  /// Deterministic alpha-hat == a (worst case for the class when a == alpha).
+  static AlphaDistribution point(double a) {
+    return AlphaDistribution(Kind::kPoint, a, a);
+  }
+  /// Adversarial mixture of the two interval endpoints.
+  static AlphaDistribution two_point(double lo, double hi) {
+    return AlphaDistribution(Kind::kTwoPoint, lo, hi);
+  }
+
+  /// Maps a uniform variate u in [0,1) to alpha-hat.
+  [[nodiscard]] double sample(double u) const {
+    switch (kind_) {
+      case Kind::kUniform:
+        return lo_ + (hi_ - lo_) * u;
+      case Kind::kPoint:
+        return lo_;
+      case Kind::kTwoPoint:
+        return u < 0.5 ? lo_ : hi_;
+    }
+    throw std::logic_error("AlphaDistribution: bad kind");
+  }
+
+  /// Guaranteed bisector quality of the induced problem class: alpha-hat is
+  /// always >= lower_bound(), so the class has lower_bound()-bisectors.
+  [[nodiscard]] double lower_bound() const noexcept { return lo_; }
+  [[nodiscard]] double upper_bound() const noexcept { return hi_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// Human-readable description, e.g. "U[0.10,0.50]".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  AlphaDistribution(Kind kind, double lo, double hi)
+      : kind_(kind), lo_(lo), hi_(hi) {
+    if (!(lo > 0.0) || !(lo <= hi) || !(hi <= 0.5)) {
+      throw std::invalid_argument(
+          "AlphaDistribution: need 0 < lo <= hi <= 1/2");
+    }
+  }
+
+  Kind kind_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace lbb::problems

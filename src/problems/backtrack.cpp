@@ -1,0 +1,194 @@
+#include "problems/backtrack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lbb::problems {
+
+namespace {
+
+// Leaves (solutions + dead ends) of the backtracking tree under a given
+// placement prefix.  Weight is defined as the leaf count, which makes
+// fragment weights exactly additive under any column split.
+std::int64_t leaf_count(std::int32_t board, std::vector<std::int8_t>& prefix) {
+  const auto row = static_cast<std::int32_t>(prefix.size());
+  if (row == board) return 1;  // complete solution
+  std::int64_t total = 0;
+  for (std::int32_t col = 0; col < board; ++col) {
+    bool ok = true;
+    for (std::int32_t r = 0; r < row && ok; ++r) {
+      const std::int32_t c = prefix[static_cast<std::size_t>(r)];
+      if (c == col || std::abs(c - col) == row - r) ok = false;
+    }
+    if (!ok) continue;
+    prefix.push_back(static_cast<std::int8_t>(col));
+    total += leaf_count(board, prefix);
+    prefix.pop_back();
+  }
+  return total == 0 ? 1 : total;  // no feasible column: dead-end leaf
+}
+
+std::int64_t solution_count(std::int32_t board,
+                            std::vector<std::int8_t>& prefix) {
+  const auto row = static_cast<std::int32_t>(prefix.size());
+  if (row == board) return 1;
+  std::int64_t total = 0;
+  for (std::int32_t col = 0; col < board; ++col) {
+    bool ok = true;
+    for (std::int32_t r = 0; r < row && ok; ++r) {
+      const std::int32_t c = prefix[static_cast<std::size_t>(r)];
+      if (c == col || std::abs(c - col) == row - r) ok = false;
+    }
+    if (!ok) continue;
+    prefix.push_back(static_cast<std::int8_t>(col));
+    total += solution_count(board, prefix);
+    prefix.pop_back();
+  }
+  return total;
+}
+
+}  // namespace
+
+BacktrackProblem::BacktrackProblem(std::int32_t board) {
+  if (board < 2 || board > 16) {
+    throw std::invalid_argument("BacktrackProblem: board must be in 2..16");
+  }
+  board_ = board;
+  lo_ = 0;
+  hi_ = board;
+  normalize();
+}
+
+BacktrackProblem::BacktrackProblem(std::int32_t board,
+                                   std::vector<std::int8_t> prefix,
+                                   std::int32_t lo, std::int32_t hi)
+    : board_(board), prefix_(std::move(prefix)), lo_(lo), hi_(hi) {
+  normalize();
+}
+
+bool BacktrackProblem::feasible(std::int32_t col) const {
+  const auto row = static_cast<std::int32_t>(prefix_.size());
+  for (std::int32_t r = 0; r < row; ++r) {
+    const std::int32_t c = prefix_[static_cast<std::size_t>(r)];
+    if (c == col || std::abs(c - col) == row - r) return false;
+  }
+  return true;
+}
+
+double BacktrackProblem::subtree_weight(std::int32_t col) const {
+  if (!feasible(col)) return 0.0;
+  std::vector<std::int8_t> prefix = prefix_;
+  prefix.push_back(static_cast<std::int8_t>(col));
+  return static_cast<double>(leaf_count(board_, prefix));
+}
+
+std::vector<double> BacktrackProblem::column_weights() const {
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(hi_ - lo_));
+  for (std::int32_t col = lo_; col < hi_; ++col) {
+    weights.push_back(subtree_weight(col));
+  }
+  return weights;
+}
+
+void BacktrackProblem::normalize() {
+  for (;;) {
+    if (static_cast<std::int32_t>(prefix_.size()) == board_) {
+      weight_ = 1.0;  // a complete solution: single leaf
+      return;
+    }
+    const auto weights = column_weights();
+    double total = 0.0;
+    std::int32_t nonzero = 0;
+    std::int32_t only = -1;
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(weights.size());
+         ++i) {
+      if (weights[static_cast<std::size_t>(i)] > 0.0) {
+        ++nonzero;
+        only = lo_ + i;
+        total += weights[static_cast<std::size_t>(i)];
+      }
+    }
+    if (nonzero == 0) {
+      weight_ = 1.0;  // dead end: single leaf
+      return;
+    }
+    if (nonzero >= 2) {
+      weight_ = total;
+      return;
+    }
+    // Exactly one live column: place it and descend into the next row.
+    weight_ = total;
+    if (total <= 1.0) return;  // that column is itself a leaf
+    prefix_.push_back(static_cast<std::int8_t>(only));
+    lo_ = 0;
+    hi_ = board_;
+  }
+}
+
+std::pair<std::int32_t, double> BacktrackProblem::best_split() const {
+  const auto weights = column_weights();
+  // Prefix sums over the interval; candidate cuts keep both sides > 0.
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double best_low = -1.0;
+  std::int32_t best_cut = -1;
+  double running = 0.0;
+  for (std::int32_t i = 0; i + 1 < static_cast<std::int32_t>(weights.size());
+       ++i) {
+    running += weights[static_cast<std::size_t>(i)];
+    const double high = total - running;
+    if (running <= 0.0 || high <= 0.0) continue;
+    if (best_cut < 0 || std::abs(running - 0.5 * total) <
+                            std::abs(best_low - 0.5 * total)) {
+      best_cut = lo_ + i + 1;
+      best_low = running;
+    }
+  }
+  if (best_cut < 0) {
+    throw std::logic_error("BacktrackProblem: fragment cannot be split");
+  }
+  return {best_cut, best_low};
+}
+
+std::pair<BacktrackProblem, BacktrackProblem> BacktrackProblem::bisect()
+    const {
+  if (weight_ < 2.0) {
+    throw std::logic_error("BacktrackProblem: cannot bisect a leaf");
+  }
+  const auto [cut, low_weight] = best_split();
+  static_cast<void>(low_weight);
+  BacktrackProblem a(board_, prefix_, lo_, cut);
+  BacktrackProblem b(board_, prefix_, cut, hi_);
+  if (a.weight_ >= b.weight_) return {std::move(a), std::move(b)};
+  return {std::move(b), std::move(a)};
+}
+
+std::int64_t BacktrackProblem::count_solutions() const {
+  std::int64_t total = 0;
+  for (std::int32_t col = lo_; col < hi_; ++col) {
+    if (!feasible(col)) continue;
+    std::vector<std::int8_t> prefix = prefix_;
+    prefix.push_back(static_cast<std::int8_t>(col));
+    total += solution_count(board_, prefix);
+  }
+  // A fully placed fragment (normalize descended to the last row... which
+  // cannot happen: a complete placement is a leaf) contributes via the
+  // loop; a prefix that is itself complete is weight 1 and lo_ == hi_ is
+  // impossible, so the loop covers all cases except board fully solved by
+  // the prefix.
+  if (static_cast<std::int32_t>(prefix_.size()) == board_) total = 1;
+  return total;
+}
+
+double BacktrackProblem::peek_alpha_hat() const {
+  if (weight_ < 2.0) {
+    throw std::logic_error("BacktrackProblem: leaf has no bisection");
+  }
+  const auto [cut, low_weight] = best_split();
+  static_cast<void>(cut);
+  return std::min(low_weight, weight_ - low_weight) / weight_;
+}
+
+}  // namespace lbb::problems

@@ -1,0 +1,87 @@
+// Backtrack-search spaces as a bisectable problem class.
+//
+// The paper lists "parts of the search space for an optimization problem
+// (cf. [Karp/Zhang])" among the problem classes its abstract model covers.
+// This substrate makes that concrete with N-Queens-style backtracking:
+//
+//   * an instance is the search tree explored by a row-by-row backtracking
+//     solver for placing N non-attacking queens;
+//   * a *problem* is the part of that tree whose first undecided row is
+//     restricted to a column interval [lo, hi) under a fixed prefix of
+//     already-placed queens;
+//   * its *weight* is the exact number of search-tree nodes in that part
+//     (computed by running the search once -- the same device the
+//     quadrature substrate uses), so weights are exactly additive;
+//   * *bisection* splits the column interval of the first undecided row at
+//     the weight median (choosing the split column that best balances the
+//     two halves); when only one column remains, the queen is placed and
+//     the split recurses into the next row.
+//
+// The resulting class has empirically good bisectors (the per-column
+// subtree weights are many and small near the root), and partitioning its
+// weight equals partitioning the actual backtracking work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace lbb::problems {
+
+/// A column-interval-restricted fragment of an N-Queens search tree.
+class BacktrackProblem {
+ public:
+  /// Root problem: the whole search tree for `board` queens (2..16).
+  explicit BacktrackProblem(std::int32_t board);
+
+  /// Exact number of search-tree nodes in this fragment (>= 1).
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+  /// Number of queens already fixed by this fragment's prefix.
+  [[nodiscard]] std::int32_t fixed_rows() const noexcept {
+    return static_cast<std::int32_t>(prefix_.size());
+  }
+
+  /// Splits the first undecided row's column interval at the best-balancing
+  /// column.  First element is the heavier part.  Requires weight() >= 2.
+  [[nodiscard]] std::pair<BacktrackProblem, BacktrackProblem> bisect() const;
+
+  /// Runs the actual backtracking search over this fragment and returns the
+  /// number of complete solutions in it.  Cost proportional to weight().
+  [[nodiscard]] std::int64_t count_solutions() const;
+
+  /// The balance min(w1,w2)/w the next bisect() achieves.
+  [[nodiscard]] double peek_alpha_hat() const;
+
+ private:
+  BacktrackProblem(std::int32_t board, std::vector<std::int8_t> prefix,
+                   std::int32_t lo, std::int32_t hi);
+
+  /// True if placing column `col` in row prefix_.size() is consistent with
+  /// the prefix (standard queen attacks).
+  [[nodiscard]] bool feasible(std::int32_t col) const;
+
+  /// Search-tree node count under (prefix + col placed).
+  [[nodiscard]] double subtree_weight(std::int32_t col) const;
+
+  /// Per-column weights of the first undecided row within [lo_, hi_).
+  [[nodiscard]] std::vector<double> column_weights() const;
+
+  /// Picks the split point c in (lo_, hi_) minimizing the imbalance; also
+  /// returns the weight of [lo_, c).  Used by bisect and peek_alpha_hat.
+  [[nodiscard]] std::pair<std::int32_t, double> best_split() const;
+
+  /// Descends into rows while the current interval has exactly one
+  /// feasible branch structure... normalizes the fragment so that lo_/hi_
+  /// always spans >= 2 columns or the fragment is a single node.
+  void normalize();
+
+  std::int32_t board_ = 0;
+  std::vector<std::int8_t> prefix_;  ///< placed columns, row by row
+  std::int32_t lo_ = 0;              ///< first undecided row: column range
+  std::int32_t hi_ = 0;
+  double weight_ = 1.0;
+};
+
+}  // namespace lbb::problems

@@ -1,0 +1,273 @@
+#include "problems/fe_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+
+std::size_t FeTree::leaf_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes) {
+    if (node.left < 0) ++n;
+  }
+  return n;
+}
+
+double FeTree::total_cost() const {
+  double sum = 0.0;
+  for (const Node& node : nodes) {
+    if (node.left < 0) sum += node.cost;
+  }
+  return sum;
+}
+
+std::int32_t FeTree::depth() const {
+  if (nodes.empty()) return 0;
+  std::vector<std::int32_t> d(nodes.size(), 0);
+  std::int32_t best = 0;
+  // Parent-before-child ordering: one forward pass suffices.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (n.left >= 0) {
+      d[static_cast<std::size_t>(n.left)] = d[i] + 1;
+      d[static_cast<std::size_t>(n.right)] = d[i] + 1;
+      best = std::max(best, d[i] + 1);
+    }
+  }
+  return best;
+}
+
+FeTree FeTree::adaptive_refinement(std::uint64_t seed, std::int32_t leaves,
+                                   double focus, double singularity) {
+  if (leaves < 1) {
+    throw std::invalid_argument("adaptive_refinement: leaves must be >= 1");
+  }
+  FeTree tree;
+  tree.nodes.reserve(static_cast<std::size_t>(2 * leaves - 1));
+
+  struct Cell {
+    double error;
+    std::int32_t node;
+    double lo, hi;
+    bool operator<(const Cell& other) const {
+      if (error != other.error) return error < other.error;
+      return node > other.node;  // deterministic tie-break: older first
+    }
+  };
+
+  lbb::stats::Xoshiro256 rng(seed ^ 0xfe77ee5eedbeef01ULL);
+  auto indicator = [&](double lo, double hi) {
+    const double h = hi - lo;
+    const double center = 0.5 * (lo + hi);
+    const double dist = std::abs(center - singularity) + 1e-3;
+    const double jitter = 0.5 + rng.next_double();
+    return h * std::pow(1.0 / dist, focus) * jitter;
+  };
+
+  tree.nodes.push_back(Node{-1, -1, 1.0});
+  std::priority_queue<Cell> heap;
+  heap.push(Cell{indicator(0.0, 1.0), 0, 0.0, 1.0});
+  std::int32_t current_leaves = 1;
+
+  while (current_leaves < leaves) {
+    const Cell cell = heap.top();
+    heap.pop();
+    const double mid = 0.5 * (cell.lo + cell.hi);
+    const auto left = static_cast<std::int32_t>(tree.nodes.size());
+    const auto right = left + 1;
+    tree.nodes.push_back(Node{-1, -1, 1.0});
+    tree.nodes.push_back(Node{-1, -1, 1.0});
+    Node& parent = tree.nodes[static_cast<std::size_t>(cell.node)];
+    parent.left = left;
+    parent.right = right;
+    parent.cost = 0.0;
+    heap.push(Cell{indicator(cell.lo, mid), left, cell.lo, mid});
+    heap.push(Cell{indicator(mid, cell.hi), right, mid, cell.hi});
+    ++current_leaves;
+  }
+  return tree;
+}
+
+FeTree FeTree::balanced(std::int32_t leaves) {
+  if (leaves < 1) {
+    throw std::invalid_argument("balanced: leaves must be >= 1");
+  }
+  FeTree tree;
+  // Breadth-first splitting of the widest leaf yields a balanced shape.
+  struct Item {
+    std::int32_t node;
+    std::int32_t count;
+  };
+  tree.nodes.push_back(Node{-1, -1, 1.0});
+  std::queue<Item> queue;
+  queue.push(Item{0, leaves});
+  while (!queue.empty()) {
+    const Item item = queue.front();
+    queue.pop();
+    if (item.count <= 1) continue;
+    const auto left = static_cast<std::int32_t>(tree.nodes.size());
+    const auto right = left + 1;
+    tree.nodes.push_back(Node{-1, -1, 1.0});
+    tree.nodes.push_back(Node{-1, -1, 1.0});
+    Node& parent = tree.nodes[static_cast<std::size_t>(item.node)];
+    parent.left = left;
+    parent.right = right;
+    parent.cost = 0.0;
+    const std::int32_t half = item.count / 2;
+    queue.push(Item{left, item.count - half});
+    queue.push(Item{right, half});
+  }
+  return tree;
+}
+
+FeTreeProblem::FeTreeProblem(const FeTree& tree) {
+  if (tree.nodes.empty()) {
+    throw std::invalid_argument("FeTreeProblem: empty tree");
+  }
+  nodes_.reserve(tree.nodes.size());
+  for (const FeTree::Node& n : tree.nodes) {
+    nodes_.push_back(Node{n.left, n.right, n.cost});
+    if (n.left < 0) {
+      if (!(n.cost > 0.0)) {
+        throw std::invalid_argument("FeTreeProblem: leaf cost must be > 0");
+      }
+      weight_ += n.cost;
+      ++leaves_;
+    }
+  }
+}
+
+std::vector<double> FeTreeProblem::subtree_weights() const {
+  std::vector<double> sw(nodes_.size(), 0.0);
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    sw[i] = n.left < 0 ? n.cost
+                       : sw[static_cast<std::size_t>(n.left)] +
+                             sw[static_cast<std::size_t>(n.right)];
+  }
+  return sw;
+}
+
+std::int32_t FeTreeProblem::best_cut(const std::vector<double>& sw) const {
+  const double total = sw[0];
+  std::int32_t best = -1;
+  double best_max_side = total;
+  // Every node except the root is a candidate cut (remove its subtree).
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const double side = std::max(sw[i], total - sw[i]);
+    if (side < best_max_side) {
+      best_max_side = side;
+      best = static_cast<std::int32_t>(i);
+    }
+  }
+  return best;
+}
+
+double FeTreeProblem::peek_alpha_hat() const {
+  if (leaves_ < 2) {
+    throw std::logic_error("FeTreeProblem: fragment has a single element");
+  }
+  const std::vector<double> sw = subtree_weights();
+  const std::int32_t cut = best_cut(sw);
+  const double w_cut = sw[static_cast<std::size_t>(cut)];
+  return std::min(w_cut, weight_ - w_cut) / weight_;
+}
+
+std::pair<FeTreeProblem, FeTreeProblem> FeTreeProblem::bisect() const {
+  if (leaves_ < 2) {
+    throw std::logic_error("FeTreeProblem: cannot bisect a single element");
+  }
+  const std::vector<double> sw = subtree_weights();
+  const std::int32_t cut = best_cut(sw);
+  const std::size_t n = nodes_.size();
+
+  // Mark the cut subtree.  Parent-before-child ordering lets one forward
+  // pass propagate membership; we also need each node's parent.
+  std::vector<std::int32_t> parent(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (node.left >= 0) {
+      parent[static_cast<std::size_t>(node.left)] =
+          static_cast<std::int32_t>(i);
+      parent[static_cast<std::size_t>(node.right)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+  std::vector<char> in_cut(n, 0);
+  in_cut[static_cast<std::size_t>(cut)] = 1;
+  for (std::size_t i = static_cast<std::size_t>(cut) + 1; i < n; ++i) {
+    const std::int32_t p = parent[i];
+    if (p >= 0 && in_cut[static_cast<std::size_t>(p)]) in_cut[i] = 1;
+  }
+
+  // Fragment A: the cut subtree (cut is the smallest in-subtree index, so
+  // it becomes node 0 and parent-before-child order is preserved).
+  FeTreeProblem a;
+  {
+    std::vector<std::int32_t> remap(n, -1);
+    std::int32_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_cut[i]) remap[i] = next++;
+    }
+    a.nodes_.reserve(static_cast<std::size_t>(next));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_cut[i]) continue;
+      const Node& node = nodes_[i];
+      Node copy = node;
+      if (node.left >= 0) {
+        copy.left = remap[static_cast<std::size_t>(node.left)];
+        copy.right = remap[static_cast<std::size_t>(node.right)];
+      }
+      a.nodes_.push_back(copy);
+      if (copy.left < 0) {
+        a.weight_ += copy.cost;
+        ++a.leaves_;
+      }
+    }
+  }
+
+  // Fragment B: everything else, with the cut node's parent contracted
+  // (it would have a single child).  References to the contracted parent
+  // are redirected to its surviving child.
+  FeTreeProblem b;
+  {
+    const std::int32_t p = parent[static_cast<std::size_t>(cut)];
+    const Node& pnode = nodes_[static_cast<std::size_t>(p)];
+    const std::int32_t sibling = pnode.left == cut ? pnode.right : pnode.left;
+    std::vector<std::int32_t> remap(n, -1);
+    std::int32_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_cut[i] && static_cast<std::int32_t>(i) != p) remap[i] = next++;
+    }
+    auto resolve = [&](std::int32_t old) {
+      return old == p ? remap[static_cast<std::size_t>(sibling)]
+                      : remap[static_cast<std::size_t>(old)];
+    };
+    b.nodes_.reserve(static_cast<std::size_t>(next));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_cut[i] || static_cast<std::int32_t>(i) == p) continue;
+      const Node& node = nodes_[i];
+      Node copy = node;
+      if (node.left >= 0) {
+        copy.left = resolve(node.left);
+        copy.right = resolve(node.right);
+      }
+      b.nodes_.push_back(copy);
+      if (copy.left < 0) {
+        b.weight_ += copy.cost;
+        ++b.leaves_;
+      }
+    }
+  }
+
+  if (a.weight_ >= b.weight_) {
+    return {std::move(a), std::move(b)};
+  }
+  return {std::move(b), std::move(a)};
+}
+
+}  // namespace lbb::problems

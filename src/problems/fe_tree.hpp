@@ -1,0 +1,95 @@
+// FE-trees: the paper's motivating application substrate.
+//
+// The authors' parallel FEM solver uses adaptive recursive substructuring,
+// which produces an unbalanced binary tree (the "FE-tree") whose leaves are
+// the finite elements; the tree must be split into subtrees of roughly
+// equal element counts to parallelize the computation [Bischof/Ebner/
+// Erlebach '98; Huettl '96].  We rebuild that substrate:
+//
+//   * FeTree::adaptive_refinement generates realistic unbalanced trees by
+//     simulating error-indicator-driven refinement of a 1-D domain with a
+//     point singularity (the standard source of strong imbalance).
+//   * FeTreeProblem is a tree fragment with a bisector: cut the edge whose
+//     removal best balances the leaf cost.  For unit leaf costs this is a
+//     1/3-bisector (every binary tree has a 1/3-2/3 edge separator), so the
+//     class provably has alpha-bisectors with alpha = 1/3 - O(c_max/W).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lbb::problems {
+
+/// Immutable FE-tree produced by a (simulated) recursive-substructuring run.
+/// Node arrays are ordered parent-before-child; node 0 is the root.
+struct FeTree {
+  struct Node {
+    std::int32_t left = -1;   ///< -1 for leaves
+    std::int32_t right = -1;  ///< -1 for leaves
+    double cost = 0.0;        ///< computational cost; > 0 at leaves only
+  };
+
+  std::vector<Node> nodes;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+  [[nodiscard]] std::size_t leaf_count() const;
+  [[nodiscard]] double total_cost() const;
+  [[nodiscard]] std::int32_t depth() const;
+
+  /// Simulates adaptive refinement of the unit interval driven by an error
+  /// indicator peaked at `singularity` (in [0,1]).  `focus` >= 0 controls
+  /// how sharply refinement concentrates (0 = uniform-ish, 3+ = strongly
+  /// graded meshes).  Produces exactly `leaves` leaf elements of unit cost,
+  /// with multiplicative jitter from `seed` breaking ties.
+  static FeTree adaptive_refinement(std::uint64_t seed, std::int32_t leaves,
+                                    double focus = 2.0,
+                                    double singularity = 0.3);
+
+  /// Perfectly balanced tree with `leaves` unit-cost leaves (power of two
+  /// recommended); baseline for tests.
+  static FeTree balanced(std::int32_t leaves);
+};
+
+/// A connected fragment of an FE-tree, usable with every algorithm in
+/// src/core.  Bisection cuts the best-balancing edge; both sides are
+/// materialized as independent fragments.
+class FeTreeProblem {
+ public:
+  /// Fragment covering an entire FE-tree.
+  explicit FeTreeProblem(const FeTree& tree);
+
+  /// Total leaf cost of the fragment.
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+  /// Number of leaf elements in the fragment.
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_; }
+
+  /// Splits the fragment at the best-balancing edge.  First element of the
+  /// result is the heavier side.  Requires leaf_count() >= 2.
+  [[nodiscard]] std::pair<FeTreeProblem, FeTreeProblem> bisect() const;
+
+  /// The balance the next bisect() will achieve:
+  /// min(w1, w2)/w -- i.e. this fragment's realized alpha-hat.
+  [[nodiscard]] double peek_alpha_hat() const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double cost = 0.0;
+  };
+
+  FeTreeProblem() = default;
+
+  /// Subtree weights, nodes_ being parent-before-child (root at 0).
+  [[nodiscard]] std::vector<double> subtree_weights() const;
+  /// Best cut node (proper subtree root minimizing the max side).
+  [[nodiscard]] std::int32_t best_cut(const std::vector<double>& sw) const;
+
+  std::vector<Node> nodes_;
+  double weight_ = 0.0;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace lbb::problems

@@ -1,0 +1,206 @@
+#include "problems/grid_domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+
+GridField::GridField(std::int32_t width, std::int32_t height,
+                     std::vector<double> cell_costs)
+    : width_(width), height_(height) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("GridField: dimensions must be >= 1");
+  }
+  if (cell_costs.size() !=
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+    throw std::invalid_argument("GridField: cost array size mismatch");
+  }
+  for (double c : cell_costs) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument("GridField: cell costs must be > 0");
+    }
+  }
+  const auto w1 = static_cast<std::size_t>(width + 1);
+  const auto h1 = static_cast<std::size_t>(height + 1);
+  prefix_.assign(w1 * h1, 0.0);
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      const auto c =
+          cell_costs[static_cast<std::size_t>(y) *
+                         static_cast<std::size_t>(width) +
+                     static_cast<std::size_t>(x)];
+      const auto idx = [&](std::int32_t xx, std::int32_t yy) {
+        return static_cast<std::size_t>(yy) * w1 + static_cast<std::size_t>(xx);
+      };
+      prefix_[idx(x + 1, y + 1)] = c + prefix_[idx(x, y + 1)] +
+                                   prefix_[idx(x + 1, y)] - prefix_[idx(x, y)];
+    }
+  }
+}
+
+GridField GridField::random_hotspots(std::uint64_t seed, std::int32_t width,
+                                     std::int32_t height,
+                                     std::int32_t hotspots) {
+  lbb::stats::Xoshiro256 rng(seed ^ 0x6d0bba1262d53a91ULL);
+  struct Bump {
+    double cx, cy, amp, sigma2;
+  };
+  std::vector<Bump> bumps;
+  bumps.reserve(static_cast<std::size_t>(std::max(hotspots, 0)));
+  for (std::int32_t k = 0; k < hotspots; ++k) {
+    Bump b{};
+    b.cx = rng.uniform(0.0, static_cast<double>(width));
+    b.cy = rng.uniform(0.0, static_cast<double>(height));
+    b.amp = rng.uniform(2.0, 20.0);
+    const double sigma =
+        rng.uniform(0.02, 0.15) * static_cast<double>(std::max(width, height));
+    b.sigma2 = sigma * sigma;
+    bumps.push_back(b);
+  }
+  std::vector<double> cost(static_cast<std::size_t>(width) *
+                           static_cast<std::size_t>(height));
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      double c = 1.0;  // baseline keeps every cell strictly positive
+      for (const Bump& b : bumps) {
+        const double dx = static_cast<double>(x) + 0.5 - b.cx;
+        const double dy = static_cast<double>(y) + 0.5 - b.cy;
+        c += b.amp * std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma2));
+      }
+      cost[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+           static_cast<std::size_t>(x)] = c;
+    }
+  }
+  return GridField(width, height, std::move(cost));
+}
+
+double GridField::rect_sum(std::int32_t x0, std::int32_t y0, std::int32_t x1,
+                           std::int32_t y1) const {
+  const auto w1 = static_cast<std::size_t>(width_ + 1);
+  const auto idx = [&](std::int32_t xx, std::int32_t yy) {
+    return static_cast<std::size_t>(yy) * w1 + static_cast<std::size_t>(xx);
+  };
+  return prefix_[idx(x1, y1)] - prefix_[idx(x0, y1)] - prefix_[idx(x1, y0)] +
+         prefix_[idx(x0, y0)];
+}
+
+double GridField::cell(std::int32_t x, std::int32_t y) const {
+  return rect_sum(x, y, x + 1, y + 1);
+}
+
+GridProblem::GridProblem(std::shared_ptr<const GridField> field)
+    : GridProblem(field, 0, 0, field ? field->width() : 0,
+                  field ? field->height() : 0) {}
+
+GridProblem::GridProblem(std::shared_ptr<const GridField> field,
+                         std::int32_t x0, std::int32_t y0, std::int32_t x1,
+                         std::int32_t y1)
+    : field_(std::move(field)), x0_(x0), y0_(y0), x1_(x1), y1_(y1) {
+  if (!field_) throw std::invalid_argument("GridProblem: null field");
+  if (x0 < 0 || y0 < 0 || x1 > field_->width() || y1 > field_->height() ||
+      x0 >= x1 || y0 >= y1) {
+    throw std::invalid_argument("GridProblem: bad rectangle");
+  }
+  weight_ = field_->rect_sum(x0_, y0_, x1_, y1_);
+}
+
+std::pair<std::int32_t, double> GridProblem::best_cut_x() const {
+  // Weight of [x0, c) x [y0, y1) is monotone in c; binary-search the point
+  // closest to half, then compare with its neighbor.
+  const double half = 0.5 * weight_;
+  std::int32_t lo = x0_ + 1;
+  std::int32_t hi = x1_ - 1;
+  auto low_weight = [&](std::int32_t c) {
+    return field_->rect_sum(x0_, y0_, c, y1_);
+  };
+  while (lo < hi) {
+    const std::int32_t mid = lo + (hi - lo) / 2;
+    if (low_weight(mid) < half) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // lo is the smallest cut with low side >= half (or the max cut).
+  std::int32_t best = lo;
+  double bw = low_weight(lo);
+  if (lo > x0_ + 1) {
+    const double prev = low_weight(lo - 1);
+    if (std::abs(prev - half) <= std::abs(bw - half)) {
+      best = lo - 1;
+      bw = prev;
+    }
+  }
+  return {best, bw};
+}
+
+std::pair<std::int32_t, double> GridProblem::best_cut_y() const {
+  const double half = 0.5 * weight_;
+  std::int32_t lo = y0_ + 1;
+  std::int32_t hi = y1_ - 1;
+  auto low_weight = [&](std::int32_t c) {
+    return field_->rect_sum(x0_, y0_, x1_, c);
+  };
+  while (lo < hi) {
+    const std::int32_t mid = lo + (hi - lo) / 2;
+    if (low_weight(mid) < half) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  std::int32_t best = lo;
+  double bw = low_weight(lo);
+  if (lo > y0_ + 1) {
+    const double prev = low_weight(lo - 1);
+    if (std::abs(prev - half) <= std::abs(bw - half)) {
+      best = lo - 1;
+      bw = prev;
+    }
+  }
+  return {best, bw};
+}
+
+std::pair<GridProblem, GridProblem> GridProblem::split_at(
+    bool vertical, std::int32_t cut) const {
+  GridProblem a = vertical ? GridProblem(field_, x0_, y0_, cut, y1_)
+                           : GridProblem(field_, x0_, y0_, x1_, cut);
+  GridProblem b = vertical ? GridProblem(field_, cut, y0_, x1_, y1_)
+                           : GridProblem(field_, x0_, cut, x1_, y1_);
+  if (a.weight_ >= b.weight_) return {std::move(a), std::move(b)};
+  return {std::move(b), std::move(a)};
+}
+
+std::pair<GridProblem, GridProblem> GridProblem::bisect() const {
+  const std::int32_t w = x1_ - x0_;
+  const std::int32_t h = y1_ - y0_;
+  if (static_cast<std::int64_t>(w) * h < 2) {
+    throw std::logic_error("GridProblem: cannot bisect a single cell");
+  }
+  // Prefer cutting the longer side; fall back to the other if degenerate.
+  const bool vertical = (w >= h) ? (w > 1) : false;
+  if (vertical) {
+    const auto [cut, unused] = best_cut_x();
+    static_cast<void>(unused);
+    return split_at(true, cut);
+  }
+  const auto [cut, unused] = best_cut_y();
+  static_cast<void>(unused);
+  return split_at(false, cut);
+}
+
+double GridProblem::peek_alpha_hat() const {
+  const std::int32_t w = x1_ - x0_;
+  const std::int32_t h = y1_ - y0_;
+  if (static_cast<std::int64_t>(w) * h < 2) {
+    throw std::logic_error("GridProblem: single cell has no bisection");
+  }
+  const bool vertical = (w >= h) ? (w > 1) : false;
+  const double low = vertical ? best_cut_x().second : best_cut_y().second;
+  return std::min(low, weight_ - low) / weight_;
+}
+
+}  // namespace lbb::problems

@@ -1,0 +1,85 @@
+// 2-D cost-field domain decomposition (the paper cites domain decomposition
+// for chip layout and computational fluid dynamics as applications).
+//
+// A GridField is a W x H array of positive per-cell costs (e.g. placement
+// density, mesh refinement level).  A GridProblem is an axis-aligned
+// rectangle of cells; its weight is the exact sum of cell costs (constant
+// time via a summed-area table), so weights are exactly additive under
+// straight-line cuts.  Bisection cuts perpendicular to the longer side at
+// the position that best balances the two halves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace lbb::problems {
+
+/// Immutable cost field with a summed-area table for O(1) rectangle sums.
+class GridField {
+ public:
+  GridField(std::int32_t width, std::int32_t height,
+            std::vector<double> cell_costs);
+
+  /// Smooth random field: baseline cost plus `hotspots` Gaussian bumps of
+  /// random position/amplitude/width.  All cells strictly positive.
+  static GridField random_hotspots(std::uint64_t seed, std::int32_t width,
+                                   std::int32_t height,
+                                   std::int32_t hotspots = 6);
+
+  [[nodiscard]] std::int32_t width() const noexcept { return width_; }
+  [[nodiscard]] std::int32_t height() const noexcept { return height_; }
+
+  /// Sum of cell costs over [x0, x1) x [y0, y1).
+  [[nodiscard]] double rect_sum(std::int32_t x0, std::int32_t y0,
+                                std::int32_t x1, std::int32_t y1) const;
+
+  [[nodiscard]] double cell(std::int32_t x, std::int32_t y) const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<double> prefix_;  ///< (width+1) x (height+1) summed-area table
+};
+
+/// An axis-aligned rectangle of grid cells; Bisectable.
+class GridProblem {
+ public:
+  /// Rectangle covering the whole field.
+  explicit GridProblem(std::shared_ptr<const GridField> field);
+
+  /// Sub-rectangle [x0, x1) x [y0, y1).
+  GridProblem(std::shared_ptr<const GridField> field, std::int32_t x0,
+              std::int32_t y0, std::int32_t x1, std::int32_t y1);
+
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+  [[nodiscard]] std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(x1_ - x0_) * (y1_ - y0_);
+  }
+  [[nodiscard]] std::int32_t x0() const noexcept { return x0_; }
+  [[nodiscard]] std::int32_t y0() const noexcept { return y0_; }
+  [[nodiscard]] std::int32_t x1() const noexcept { return x1_; }
+  [[nodiscard]] std::int32_t y1() const noexcept { return y1_; }
+
+  /// Cuts perpendicular to the longer side at the best-balancing position.
+  /// First element is the heavier half.  Requires cells() >= 2.
+  [[nodiscard]] std::pair<GridProblem, GridProblem> bisect() const;
+
+  /// Balance min(w1,w2)/w the next bisect() will achieve.
+  [[nodiscard]] double peek_alpha_hat() const;
+
+ private:
+  /// Best cut coordinate along x (vertical line) in (x0, x1), or along y;
+  /// returns the cut and the weight of the low side.
+  [[nodiscard]] std::pair<std::int32_t, double> best_cut_x() const;
+  [[nodiscard]] std::pair<std::int32_t, double> best_cut_y() const;
+  [[nodiscard]] std::pair<GridProblem, GridProblem> split_at(
+      bool vertical, std::int32_t cut) const;
+
+  std::shared_ptr<const GridField> field_;
+  std::int32_t x0_ = 0, y0_ = 0, x1_ = 0, y1_ = 0;
+  double weight_ = 0.0;
+};
+
+}  // namespace lbb::problems

@@ -1,0 +1,73 @@
+// Ordered-list splitting via random pivots.
+//
+// The paper motivates its i.i.d.-uniform alpha-hat model with problems
+// "represented by lists of elements taken from an ordered set, bisected by
+// choosing a random pivot element and partitioning the list into smaller
+// and larger elements".  PivotListProblem is that class: a problem is a
+// contiguous run of `count` elements, its weight is `count`, and a
+// bisection picks a pivot rank uniformly from {1, ..., count-1} (both sides
+// non-empty).  The realized alpha-hat = min(k, count-k)/count is then
+// approximately U(0, 1/2].
+//
+// Pivot choices are path-hashed (like SyntheticProblem) so instances are
+// reproducible and algorithm-order-independent.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+
+/// A contiguous index range [begin, end) of an ordered list.
+class PivotListProblem {
+ public:
+  /// Root problem covering `count` elements.
+  PivotListProblem(std::uint64_t seed, std::int64_t count)
+      : node_hash_(lbb::stats::splitmix64(seed ^ 0x9a62cf173cf2b6d3ULL)),
+        begin_(0),
+        end_(count) {
+    if (count < 1) {
+      throw std::invalid_argument("PivotListProblem: count must be >= 1");
+    }
+  }
+
+  /// Weight == number of elements.
+  [[nodiscard]] double weight() const noexcept {
+    return static_cast<double>(end_ - begin_);
+  }
+
+  [[nodiscard]] std::int64_t begin() const noexcept { return begin_; }
+  [[nodiscard]] std::int64_t end() const noexcept { return end_; }
+  [[nodiscard]] std::int64_t count() const noexcept { return end_ - begin_; }
+
+  /// Splits at a uniformly random pivot rank.  Requires count() >= 2.
+  [[nodiscard]] std::pair<PivotListProblem, PivotListProblem> bisect() const {
+    const std::int64_t n = count();
+    if (n < 2) {
+      throw std::logic_error("PivotListProblem: cannot bisect a singleton");
+    }
+    // k uniform in {1, ..., n-1}.
+    const std::uint64_t h = lbb::stats::splitmix64(node_hash_);
+    const auto k = static_cast<std::int64_t>(
+        1 + (h % static_cast<std::uint64_t>(n - 1)));
+    PivotListProblem left(lbb::stats::mix64(node_hash_, 1), begin_,
+                          begin_ + k);
+    PivotListProblem right(lbb::stats::mix64(node_hash_, 2), begin_ + k,
+                           end_);
+    return {std::move(left), std::move(right)};
+  }
+
+ private:
+  PivotListProblem(std::uint64_t node_hash, std::int64_t begin,
+                   std::int64_t end)
+      : node_hash_(node_hash), begin_(begin), end_(end) {}
+
+  std::uint64_t node_hash_;
+  std::int64_t begin_;
+  std::int64_t end_;
+};
+
+}  // namespace lbb::problems

@@ -1,0 +1,159 @@
+#include "problems/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lbb::problems {
+
+QuadratureProblem::QuadratureProblem(Integrand integrand,
+                                     QuadratureConfig config, std::int32_t dim,
+                                     std::span<const double> lo,
+                                     std::span<const double> hi) {
+  if (dim < 1 || dim > kMaxQuadDim) {
+    throw std::invalid_argument("QuadratureProblem: bad dimension");
+  }
+  if (lo.size() != static_cast<std::size_t>(dim) ||
+      hi.size() != static_cast<std::size_t>(dim)) {
+    throw std::invalid_argument("QuadratureProblem: bounds size != dim");
+  }
+  for (std::int32_t i = 0; i < dim; ++i) {
+    if (!(lo[static_cast<std::size_t>(i)] < hi[static_cast<std::size_t>(i)])) {
+      throw std::invalid_argument("QuadratureProblem: need lo < hi");
+    }
+  }
+  auto shared = std::make_shared<Shared>();
+  shared->integrand = std::move(integrand);
+  shared->config = config;
+  shared_ = std::move(shared);
+  dim_ = dim;
+  depth_ = 0;
+  for (std::int32_t i = 0; i < dim; ++i) {
+    lo_[static_cast<std::size_t>(i)] = lo[static_cast<std::size_t>(i)];
+    hi_[static_cast<std::size_t>(i)] = hi[static_cast<std::size_t>(i)];
+  }
+  weight_ = count_leaves(lo_, hi_, 0);
+}
+
+QuadratureProblem::QuadratureProblem(std::shared_ptr<const Shared> shared,
+                                     std::int32_t dim,
+                                     std::array<double, kMaxQuadDim> lo,
+                                     std::array<double, kMaxQuadDim> hi,
+                                     std::int32_t depth)
+    : shared_(std::move(shared)), dim_(dim), depth_(depth), lo_(lo), hi_(hi) {
+  weight_ = count_leaves(lo_, hi_, depth_);
+}
+
+double QuadratureProblem::midpoint_estimate(
+    const std::array<double, kMaxQuadDim>& lo,
+    const std::array<double, kMaxQuadDim>& hi) const {
+  std::array<double, kMaxQuadDim> mid{};
+  double volume = 1.0;
+  for (std::int32_t i = 0; i < dim_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    mid[idx] = 0.5 * (lo[idx] + hi[idx]);
+    volume *= hi[idx] - lo[idx];
+  }
+  return volume * shared_->integrand(
+                      std::span<const double>(mid.data(),
+                                              static_cast<std::size_t>(dim_)));
+}
+
+std::pair<std::array<double, kMaxQuadDim>, std::array<double, kMaxQuadDim>>
+QuadratureProblem::split_point(const std::array<double, kMaxQuadDim>& lo,
+                               const std::array<double, kMaxQuadDim>& hi,
+                               std::int32_t dim) {
+  std::int32_t widest = 0;
+  double width = hi[0] - lo[0];
+  for (std::int32_t i = 1; i < dim; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (hi[idx] - lo[idx] > width) {
+      width = hi[idx] - lo[idx];
+      widest = i;
+    }
+  }
+  auto left_hi = hi;
+  auto right_lo = lo;
+  const auto w = static_cast<std::size_t>(widest);
+  const double mid = 0.5 * (lo[w] + hi[w]);
+  left_hi[w] = mid;
+  right_lo[w] = mid;
+  return {left_hi, right_lo};
+}
+
+bool QuadratureProblem::converged(const std::array<double, kMaxQuadDim>& lo,
+                                  const std::array<double, kMaxQuadDim>& hi,
+                                  std::int32_t depth) const {
+  if (depth >= shared_->config.max_depth) return true;
+  const auto [left_hi, right_lo] = split_point(lo, hi, dim_);
+  const double coarse = midpoint_estimate(lo, hi);
+  const double fine =
+      midpoint_estimate(lo, left_hi) + midpoint_estimate(right_lo, hi);
+  return std::abs(fine - coarse) <= shared_->config.tol;
+}
+
+double QuadratureProblem::count_leaves(std::array<double, kMaxQuadDim> lo,
+                                       std::array<double, kMaxQuadDim> hi,
+                                       std::int32_t depth) const {
+  struct Frame {
+    std::array<double, kMaxQuadDim> lo, hi;
+    std::int32_t depth;
+  };
+  std::vector<Frame> stack{{lo, hi, depth}};
+  double count = 0.0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (converged(f.lo, f.hi, f.depth)) {
+      count += 1.0;
+      continue;
+    }
+    const auto [left_hi, right_lo] = split_point(f.lo, f.hi, dim_);
+    stack.push_back(Frame{f.lo, left_hi, f.depth + 1});
+    stack.push_back(Frame{right_lo, f.hi, f.depth + 1});
+  }
+  return count;
+}
+
+double QuadratureProblem::integrate_box(std::array<double, kMaxQuadDim> lo,
+                                        std::array<double, kMaxQuadDim> hi,
+                                        std::int32_t depth) const {
+  struct Frame {
+    std::array<double, kMaxQuadDim> lo, hi;
+    std::int32_t depth;
+  };
+  std::vector<Frame> stack{{lo, hi, depth}};
+  double sum = 0.0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (converged(f.lo, f.hi, f.depth)) {
+      sum += midpoint_estimate(f.lo, f.hi);
+      continue;
+    }
+    const auto [left_hi, right_lo] = split_point(f.lo, f.hi, dim_);
+    stack.push_back(Frame{f.lo, left_hi, f.depth + 1});
+    stack.push_back(Frame{right_lo, f.hi, f.depth + 1});
+  }
+  return sum;
+}
+
+std::pair<QuadratureProblem, QuadratureProblem> QuadratureProblem::bisect()
+    const {
+  if (weight_ < 2.0) {
+    throw std::logic_error("QuadratureProblem: region already converged");
+  }
+  const auto [left_hi, right_lo] = split_point(lo_, hi_, dim_);
+  QuadratureProblem a(shared_, dim_, lo_, left_hi, depth_ + 1);
+  QuadratureProblem b(shared_, dim_, right_lo, hi_, depth_ + 1);
+  if (a.weight_ >= b.weight_) {
+    return {std::move(a), std::move(b)};
+  }
+  return {std::move(b), std::move(a)};
+}
+
+double QuadratureProblem::integrate() const {
+  return integrate_box(lo_, hi_, depth_);
+}
+
+}  // namespace lbb::problems

@@ -1,0 +1,107 @@
+// Multi-dimensional adaptive numerical quadrature as a bisectable problem
+// class (the paper cites Bonk's adaptive quadrature as a target
+// application).
+//
+// The serial adaptive scheme recursively splits an axis-aligned box along
+// its widest dimension at the midpoint until a local error estimate is
+// below tolerance; the boxes it would generate form a binary tree.  We
+// define the *weight* of a region as the number of leaf boxes of that tree
+// inside the region -- i.e. the amount of quadrature work the region costs.
+// Because bisection splits exactly at the scheme's own midpoints, weights
+// are exactly additive (w(p1) + w(p2) == w(p)), as Definition 1 requires.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+namespace lbb::problems {
+
+/// Maximum supported dimension of the integration domain.
+inline constexpr std::int32_t kMaxQuadDim = 4;
+
+/// Scalar integrand over [0,1]^d (or any box).
+using Integrand = std::function<double(std::span<const double>)>;
+
+/// Tolerances of the underlying serial adaptive scheme.
+struct QuadratureConfig {
+  double tol = 1e-4;          ///< absolute per-box error tolerance
+  std::int32_t max_depth = 40;  ///< refinement depth cap (safety)
+};
+
+/// An axis-aligned box within the adaptive-quadrature refinement tree.
+class QuadratureProblem {
+ public:
+  /// Root problem covering the box [lo, hi] in `dim` dimensions.
+  QuadratureProblem(Integrand integrand, QuadratureConfig config,
+                    std::int32_t dim, std::span<const double> lo,
+                    std::span<const double> hi);
+
+  /// Number of adaptive leaf boxes in this region (>= 1).
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+  /// Splits the region at the adaptive scheme's midpoint of the widest
+  /// dimension.  First element is the heavier child.
+  /// Requires weight() >= 2 (an unconverged region).
+  [[nodiscard]] std::pair<QuadratureProblem, QuadratureProblem> bisect() const;
+
+  /// Runs the actual adaptive quadrature over this region and returns the
+  /// integral estimate.  Cost is proportional to weight().
+  [[nodiscard]] double integrate() const;
+
+  [[nodiscard]] std::int32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::span<const double> lower() const noexcept {
+    return {lo_.data(), static_cast<std::size_t>(dim_)};
+  }
+  [[nodiscard]] std::span<const double> upper() const noexcept {
+    return {hi_.data(), static_cast<std::size_t>(dim_)};
+  }
+
+ private:
+  struct Shared {
+    Integrand integrand;
+    QuadratureConfig config;
+  };
+
+  QuadratureProblem(std::shared_ptr<const Shared> shared, std::int32_t dim,
+                    std::array<double, kMaxQuadDim> lo,
+                    std::array<double, kMaxQuadDim> hi, std::int32_t depth);
+
+  /// Midpoint-rule estimate over a box.
+  [[nodiscard]] double midpoint_estimate(
+      const std::array<double, kMaxQuadDim>& lo,
+      const std::array<double, kMaxQuadDim>& hi) const;
+
+  /// True when the adaptive scheme stops refining this box.
+  [[nodiscard]] bool converged(const std::array<double, kMaxQuadDim>& lo,
+                               const std::array<double, kMaxQuadDim>& hi,
+                               std::int32_t depth) const;
+
+  /// Children boxes of a box (split widest dimension at midpoint).
+  static std::pair<std::array<double, kMaxQuadDim>,
+                   std::array<double, kMaxQuadDim>>
+  split_point(const std::array<double, kMaxQuadDim>& lo,
+              const std::array<double, kMaxQuadDim>& hi, std::int32_t dim);
+
+  /// Counts adaptive leaf boxes under (lo, hi) at `depth`.
+  [[nodiscard]] double count_leaves(std::array<double, kMaxQuadDim> lo,
+                                    std::array<double, kMaxQuadDim> hi,
+                                    std::int32_t depth) const;
+
+  /// Adaptive integral over (lo, hi) at `depth`.
+  [[nodiscard]] double integrate_box(std::array<double, kMaxQuadDim> lo,
+                                     std::array<double, kMaxQuadDim> hi,
+                                     std::int32_t depth) const;
+
+  std::shared_ptr<const Shared> shared_;
+  std::int32_t dim_ = 1;
+  std::int32_t depth_ = 0;
+  std::array<double, kMaxQuadDim> lo_{};
+  std::array<double, kMaxQuadDim> hi_{};
+  double weight_ = 1.0;
+};
+
+}  // namespace lbb::problems

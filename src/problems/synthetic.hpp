@@ -1,0 +1,71 @@
+// The paper's stochastic problem model (Section 4), as a Bisectable class.
+//
+// A SyntheticProblem is a node of a virtual infinite bisection tree.
+// Bisecting a node of weight w draws alpha-hat from the configured
+// AlphaDistribution and yields children of weight (1-alpha_hat)*w and
+// alpha_hat*w.  The draw for each node is a *pure function of the node's
+// position in the tree* (a path hash), not of the order in which algorithms
+// visit nodes.  Consequences:
+//   - all N-1 bisection draws are i.i.d. as required by the paper's model;
+//   - two different algorithms run on the same (seed, distribution) explore
+//     the *same* underlying problem instance, making paired comparisons
+//     (HF vs BA vs BA-HF, PHF == HF) exact rather than merely statistical.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "problems/alpha_dist.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+
+/// One subproblem of the synthetic stochastic model.  Cheap value type:
+/// copying is allowed and has no hidden state.
+class SyntheticProblem {
+ public:
+  /// Root problem of a fresh instance.
+  SyntheticProblem(std::uint64_t seed, const AlphaDistribution& dist,
+                   double weight = 1.0)
+      : dist_(dist),
+        node_hash_(lbb::stats::splitmix64(seed ^ 0x5bf03635d1d4f7a1ULL)),
+        weight_(weight) {}
+
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+  /// Splits this problem; first element is the heavier child.
+  [[nodiscard]] std::pair<SyntheticProblem, SyntheticProblem> bisect() const {
+    const double u =
+        lbb::stats::hash_to_unit(lbb::stats::splitmix64(node_hash_));
+    const double alpha_hat = dist_.sample(u);
+    SyntheticProblem heavy(*this, lbb::stats::mix64(node_hash_, 1),
+                           (1.0 - alpha_hat) * weight_);
+    SyntheticProblem light(*this, lbb::stats::mix64(node_hash_, 2),
+                           alpha_hat * weight_);
+    return {std::move(heavy), std::move(light)};
+  }
+
+  /// The alpha-hat this node will use when bisected (deterministic).
+  [[nodiscard]] double peek_alpha_hat() const {
+    return dist_.sample(
+        lbb::stats::hash_to_unit(lbb::stats::splitmix64(node_hash_)));
+  }
+
+  /// Identifies the node within the virtual tree (for tests).
+  [[nodiscard]] std::uint64_t node_hash() const noexcept { return node_hash_; }
+
+  [[nodiscard]] const AlphaDistribution& distribution() const noexcept {
+    return dist_;
+  }
+
+ private:
+  SyntheticProblem(const SyntheticProblem& parent, std::uint64_t node_hash,
+                   double weight)
+      : dist_(parent.dist_), node_hash_(node_hash), weight_(weight) {}
+
+  AlphaDistribution dist_;
+  std::uint64_t node_hash_;
+  double weight_;
+};
+
+}  // namespace lbb::problems

@@ -1,0 +1,81 @@
+#include "runtime/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lbb::runtime {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace lbb::runtime

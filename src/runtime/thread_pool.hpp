@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool (tasks, not threads -- CP.4).
+//
+// Used by the examples to actually *run* the subproblems of a partition on
+// worker threads and measure the realized balance.  RAII: the destructor
+// drains the queue and joins all workers.  Exceptions thrown by tasks are
+// captured and rethrown from wait_idle().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lbb::runtime {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(unsigned threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task.  Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.  Rethrows
+  /// the first exception raised by any task since the last wait_idle().
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+ private:
+  void worker_loop();
+
+  unsigned threads_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lbb::runtime

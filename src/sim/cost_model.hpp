@@ -1,0 +1,95 @@
+// Cost model of the paper's parallel machine (Section 3).
+//
+// Assumptions stated by the paper:
+//   * bisecting a problem takes one unit of time;
+//   * transmitting a subproblem to a free processor takes one unit of time
+//     (we model the receiver as getting the problem t_send after the sender
+//     finished its bisection; the sender continues immediately);
+//   * standard global operations (barrier, broadcast, maximum, counting,
+//     selection of the f heaviest) take O(log N) -- the idealized PRAM
+//     model, simulable on realistic machines with logarithmic slowdown.
+//
+// All three knobs are configurable so the benches can also explore constant
+// -cost (ideal network) and mesh-like (sqrt N) collectives.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lbb::sim {
+
+/// Time accounting parameters of the simulated machine.
+struct CostModel {
+  /// How collective (global-communication) cost scales with machine size.
+  enum class Collective {
+    kLogarithmic,  ///< latency * ceil(log2 N) -- the paper's model
+    kConstant,     ///< latency (idealized crossbar)
+    kSqrt,         ///< latency * ceil(sqrt N) (2-D mesh without wraparound)
+  };
+
+  /// How point-to-point transfer cost depends on the endpoints.  The paper
+  /// assumes one unit per transfer (kUniform); the distance-sensitive
+  /// variants model the embeddings it cites (hypercubes [Heun; Leighton],
+  /// meshes) and expose the locality difference between BA's range-based
+  /// placement (always nearby) and PHF's arbitrary free-processor targets.
+  enum class SendTopology {
+    kUniform,    ///< t_send regardless of endpoints -- the paper's model
+    kHypercube,  ///< t_send * hamming(from, to) (e-cube routing hops)
+    kMesh2D,     ///< t_send * manhattan distance on a ceil(sqrt N) grid
+  };
+
+  double t_bisect = 1.0;           ///< one bisection step
+  double t_send = 1.0;             ///< point-to-point problem transfer
+  double collective_latency = 1.0; ///< per-hop cost of a collective
+  Collective collective = Collective::kLogarithmic;
+  SendTopology send_topology = SendTopology::kUniform;
+
+  /// Cost of transferring one subproblem from processor `from` to `to` on
+  /// an n-processor machine.
+  [[nodiscard]] double send_cost(std::int32_t from, std::int32_t to,
+                                 std::int32_t n) const {
+    if (from < 0 || to < 0 || from >= n || to >= n) {
+      throw std::invalid_argument("send_cost: endpoint out of range");
+    }
+    switch (send_topology) {
+      case SendTopology::kUniform:
+        return t_send;
+      case SendTopology::kHypercube: {
+        const auto hops = static_cast<double>(__builtin_popcount(
+            static_cast<unsigned>(from) ^ static_cast<unsigned>(to)));
+        return t_send * std::max(1.0, hops);
+      }
+      case SendTopology::kMesh2D: {
+        const auto side = static_cast<std::int32_t>(
+            std::ceil(std::sqrt(static_cast<double>(n))));
+        const std::int32_t dx = std::abs(from % side - to % side);
+        const std::int32_t dy = std::abs(from / side - to / side);
+        return t_send * std::max(1.0, static_cast<double>(dx + dy));
+      }
+    }
+    throw std::logic_error("send_cost: bad topology");
+  }
+
+  /// Cost of one collective operation (barrier / broadcast / reduce /
+  /// count / selection) on n processors.
+  [[nodiscard]] double collective_cost(std::int32_t n) const {
+    if (n < 1) throw std::invalid_argument("collective_cost: n < 1");
+    if (n == 1) return 0.0;
+    switch (collective) {
+      case Collective::kLogarithmic:
+        return collective_latency *
+               std::ceil(std::log2(static_cast<double>(n)));
+      case Collective::kConstant:
+        return collective_latency;
+      case Collective::kSqrt:
+        return collective_latency *
+               std::ceil(std::sqrt(static_cast<double>(n)));
+    }
+    throw std::logic_error("collective_cost: bad kind");
+  }
+};
+
+}  // namespace lbb::sim

@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue for the phase-1 simulation of PHF.
+//
+// Events are ordered by time; simultaneous events are ordered by insertion
+// sequence, which makes every simulation run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace lbb::sim {
+
+/// Min-priority queue of (time, payload) events with FIFO tie-breaking.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    std::int64_t seq;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event (FIFO among equal times).
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  [[nodiscard]] const Event& peek() const { return heap_.top(); }
+
+ private:
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a,
+                                  const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::int64_t next_seq_ = 0;
+};
+
+}  // namespace lbb::sim

@@ -1,0 +1,48 @@
+// Metrics collected by the simulated parallel executions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace lbb::sim {
+
+/// Time and communication accounting of one simulated run.
+struct SimMetrics {
+  double makespan = 0.0;  ///< simulated parallel time until load is balanced
+
+  std::int64_t messages = 0;          ///< point-to-point problem transfers
+  std::int64_t collective_ops = 0;    ///< global operations performed
+  std::int64_t bisections = 0;        ///< total bisection steps
+
+  // PHF-specific breakdown (zero for BA / BA-HF):
+  double phase1_end = 0.0;            ///< time when phase 1's barrier begins
+  std::int64_t phase1_bisections = 0;
+  std::int64_t phase2_bisections = 0;
+  std::int32_t phase2_iterations = 0;
+  std::int32_t mop_up_iterations = 0;  ///< BA'-manager catch-up rounds
+  std::int64_t failed_probes = 0;      ///< random-probe manager misses
+};
+
+/// JSON for the metrics (tooling export; see core/io.hpp for partitions).
+inline void write_metrics_json(std::ostream& os, const SimMetrics& m) {
+  os << "{\"makespan\":" << m.makespan << ",\"messages\":" << m.messages
+     << ",\"collective_ops\":" << m.collective_ops
+     << ",\"bisections\":" << m.bisections
+     << ",\"phase1_end\":" << m.phase1_end
+     << ",\"phase1_bisections\":" << m.phase1_bisections
+     << ",\"phase2_bisections\":" << m.phase2_bisections
+     << ",\"phase2_iterations\":" << m.phase2_iterations
+     << ",\"mop_up_iterations\":" << m.mop_up_iterations
+     << ",\"failed_probes\":" << m.failed_probes << "}";
+}
+
+[[nodiscard]] inline std::string metrics_json(const SimMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  write_metrics_json(os, m);
+  return os.str();
+}
+
+}  // namespace lbb::sim

@@ -1,0 +1,403 @@
+// Algorithm PHF ("Parallel HF", Figure 2 of the paper) on the simulated
+// parallel machine.
+//
+// PHF parallelizes HF while producing the *identical* partition:
+//
+//   Phase 1 (asynchronous): starting on P_1, every processor that holds a
+//   subproblem heavier than the threshold w(p)*r_alpha/N bisects it, keeps
+//   one half and ships the other half to a free processor; this repeats
+//   until every subproblem is at or below the threshold.  Such subproblems
+//   are certainly bisected by HF too, so eager parallel bisection is safe.
+//
+//   Phase 2 (synchronous rounds): with f free processors left, each round
+//   computes the maximum weight m and the number h of subproblems of
+//   weight >= m(1-alpha) via O(log N) collectives.  If h <= f all of them
+//   bisect; otherwise the f heaviest (selection) bisect.  Every chosen
+//   subproblem would also be bisected next by HF, so the final partition
+//   equals HF's.  The round count is bounded by
+//   (1/alpha) ln(1/alpha) + floor(1/alpha) - 2.
+//
+// Tie-breaking note: among equal weights HF's own partition is not unique
+// (Figure 1 picks "a problem with maximum weight" arbitrarily).  This
+// implementation matches hf_partition exactly for tie-free instances
+// (continuous weight distributions, a.s.); under exact ties PHF realizes a
+// partition that *some* valid HF tie order produces.
+//
+// Three free-processor managers are modeled (Section 3.4):
+//   * kOracle      -- the idealized O(1) acquisition of Section 3.1;
+//   * kBaPrime     -- phase 1 executes Algorithm BA' with local range-based
+//                     management, plus bounded synchronous mop-up rounds;
+//   * kRandomProbe -- work-stealing style randomized probing.
+// All managers yield the same partition; they differ in simulated time,
+// communication volume, and (under distance-sensitive SendTopology) in
+// where subproblems land.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/detail/build_context.hpp"
+#include "core/hf.hpp"
+#include "core/partition.hpp"
+#include "core/problem.hpp"
+#include "core/split.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::sim {
+
+/// Free-processor management strategy for PHF's first phase.
+enum class FreeProcManager {
+  kOracle,       ///< constant-time acquisition (idealized)
+  kBaPrime,      ///< Algorithm BA' + synchronous mop-up rounds (Section 3.4)
+  kRandomProbe,  ///< work-stealing style randomized probing (Section 3.4
+                 ///< mentions randomized work stealing [Blumofe/Leiserson]
+                 ///< as an applicable distributed scheme): the sender
+                 ///< probes uniformly random processors until it hits a
+                 ///< free one, paying one round-trip per miss
+};
+
+/// Options of the PHF simulation.
+struct PhfSimOptions {
+  FreeProcManager manager = FreeProcManager::kOracle;
+  lbb::core::PartitionOptions partition;
+  Trace* trace = nullptr;        ///< optional event trace (not owned)
+  std::uint64_t probe_seed = 1;  ///< RNG seed for kRandomProbe
+};
+
+/// Result of a simulated parallel run.
+template <lbb::core::Bisectable P>
+struct SimResult {
+  lbb::core::Partition<P> partition;
+  SimMetrics metrics;
+};
+
+namespace detail {
+
+/// Mutable per-subproblem state during the PHF simulation.  A slot is
+/// reused by the heavier child when its problem is bisected, so the set of
+/// slots always equals the set of live subproblems.
+template <lbb::core::Bisectable P>
+struct PhfSlot {
+  P problem;
+  double weight;
+  std::int64_t seq;   ///< creation order; ties in weight break earliest-first
+  std::int32_t depth;
+  lbb::core::NodeId node;
+};
+
+}  // namespace detail
+
+/// Simulates Algorithm PHF for `problem` on `n` processors of a machine
+/// described by `cost`.  `alpha` is the bisector quality of the problem
+/// class (needed for the phase-1 threshold and the phase-2 cutoff).
+///
+/// The returned partition is identical (as a multiset of subproblems) to
+/// hf_partition(problem, n); the test suite asserts this exhaustively.
+/// Piece.processor carries the machine processor each subproblem ended on.
+template <lbb::core::Bisectable P>
+[[nodiscard]] SimResult<P> phf_simulate(P problem, std::int32_t n,
+                                        double alpha,
+                                        const CostModel& cost = {},
+                                        const PhfSimOptions& opt = {}) {
+  using Slot = detail::PhfSlot<P>;
+  if (n < 1) throw std::invalid_argument("phf_simulate: n must be >= 1");
+  lbb::core::require_valid_alpha(alpha);
+
+  SimResult<P> result;
+  lbb::core::Partition<P>& out = result.partition;
+  SimMetrics& m = result.metrics;
+  out.processors = n;
+  out.total_weight = problem.weight();
+  out.pieces.reserve(static_cast<std::size_t>(n));
+  lbb::core::detail::BuildContext<P> ctx(out, opt.partition.record_tree);
+  const lbb::core::NodeId root_node = ctx.root(out.total_weight);
+
+  if (n == 1) {
+    ctx.piece(std::move(problem), out.total_weight, 0, 0, root_node);
+    return result;
+  }
+
+  const double threshold =
+      lbb::core::phf_phase1_threshold(alpha, out.total_weight, n);
+
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  std::int64_t next_seq = 0;
+  slots.push_back(
+      Slot{std::move(problem), out.total_weight, next_seq++, 0, root_node});
+
+  // Machine-processor bookkeeping: slot i lives on slot_proc[i].
+  std::vector<std::int32_t> slot_proc{0};
+  std::vector<char> busy(static_cast<std::size_t>(n), 0);
+  busy[0] = 1;
+  std::int32_t free_procs = n - 1;
+  std::int32_t free_scan = 1;  // lowest possibly-free processor id
+
+  auto take_lowest_free = [&]() {
+    while (free_scan < n && busy[static_cast<std::size_t>(free_scan)]) {
+      ++free_scan;
+    }
+    if (free_scan >= n) {
+      throw std::logic_error("phf_simulate: no free processor");
+    }
+    busy[static_cast<std::size_t>(free_scan)] = 1;
+    return free_scan;
+  };
+
+  Trace* const trace = opt.trace;
+
+  // Bisects the problem in `slot`; the heavier child replaces the parent in
+  // place, the lighter child gets a fresh slot hosted on `receiver` (the
+  // caller has already marked the receiver busy).  `t` is the simulated
+  // time of the bisection's completion (trace only).  Returns the new
+  // slot's index.
+  auto bisect_slot = [&](std::int32_t slot_index, double t,
+                         std::int32_t receiver) {
+    Slot& s = slots[static_cast<std::size_t>(slot_index)];
+    auto [a, b] = s.problem.bisect();
+    double wa = a.weight();
+    double wb = b.weight();
+    if (wa < wb) {
+      std::swap(a, b);
+      std::swap(wa, wb);
+    }
+    const auto [node_a, node_b] = ctx.bisected(s.node, wa, wb);
+    const std::int32_t depth = s.depth + 1;
+    s = Slot{std::move(a), wa, next_seq++, depth, node_a};
+    slots.push_back(Slot{std::move(b), wb, next_seq++, depth, node_b});
+    slot_proc.push_back(receiver);
+    if (free_procs <= 0) {
+      // Cannot happen for a valid alpha: phase-1/phase-2 bisections are a
+      // subset of HF's N-1 bisections (see Section 3.1 of the paper).
+      throw std::logic_error("phf_simulate: ran out of free processors");
+    }
+    --free_procs;
+    ++m.messages;
+    const auto light = static_cast<std::int32_t>(slots.size() - 1);
+    if (trace && receiver >= 0) {
+      const std::int32_t sender =
+          slot_proc[static_cast<std::size_t>(slot_index)];
+      trace->record(t, sender, TraceEvent::kBisect, wa);
+      trace->record(t, sender, TraceEvent::kSend, wb, receiver);
+      trace->record(t + cost.send_cost(sender, receiver, n), receiver,
+                    TraceEvent::kReceive, wb, sender);
+    }
+    return light;
+  };
+
+  // --- Phase 1 -----------------------------------------------------------
+  // Initial broadcast of (w(p), N, alpha).
+  double clock = cost.collective_cost(n);
+  ++m.collective_ops;
+  if (trace) {
+    trace->record(0.0, -1, TraceEvent::kPhase, 0.0, 1);
+    trace->record(clock, -1, TraceEvent::kCollective, clock);
+  }
+  double phase1_settle = clock;
+
+  if (opt.manager == FreeProcManager::kOracle ||
+      opt.manager == FreeProcManager::kRandomProbe) {
+    const bool probing = opt.manager == FreeProcManager::kRandomProbe;
+    lbb::stats::Xoshiro256 probe_rng(opt.probe_seed ^ 0x9b97f4a7c15ULL);
+    EventQueue<std::int32_t> events;  // payload: slot whose bisection ends
+    auto activate = [&](std::int32_t slot_index, double t) {
+      if (slots[static_cast<std::size_t>(slot_index)].weight > threshold) {
+        events.push(t + cost.t_bisect, slot_index);
+      } else {
+        phase1_settle = std::max(phase1_settle, t);
+      }
+    };
+    activate(0, clock);
+    while (!events.empty()) {
+      const auto ev = events.pop();
+      phase1_settle = std::max(phase1_settle, ev.time);
+      const std::int32_t sender =
+          slot_proc[static_cast<std::size_t>(ev.payload)];
+      std::int32_t receiver = -1;
+      double probe_overhead = 0.0;
+      if (probing) {
+        // Uniform probes until a free processor answers; each miss costs a
+        // round trip before the final transfer.
+        for (;;) {
+          const auto candidate = static_cast<std::int32_t>(
+              probe_rng.below(static_cast<std::uint64_t>(n)));
+          if (!busy[static_cast<std::size_t>(candidate)]) {
+            receiver = candidate;
+            busy[static_cast<std::size_t>(candidate)] = 1;
+            break;
+          }
+          ++m.failed_probes;
+          probe_overhead += 2.0 * cost.t_send;
+        }
+      } else {
+        receiver = take_lowest_free();
+      }
+      const std::int32_t light = bisect_slot(ev.payload, ev.time, receiver);
+      activate(ev.payload, ev.time);  // sender continues
+      activate(light, ev.time + probe_overhead +
+                          cost.send_cost(sender, receiver, n));
+    }
+  } else {
+    // Algorithm BA': BA recursion over processor ranges, pruned at the
+    // weight threshold.  Purely local management, zero collectives; the
+    // lighter child is always shipped to P_{proc_lo + n1} -- a nearby
+    // processor under distance-sensitive topologies.
+    struct Frame {
+      std::int32_t slot;
+      std::int32_t proc_lo;  ///< first processor of this frame's range
+      std::int32_t range;    ///< processors available to this subproblem
+      double time;
+    };
+    std::vector<Frame> stack{{0, 0, n, clock}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const Slot& s = slots[static_cast<std::size_t>(f.slot)];
+      if (f.range == 1 || s.weight <= threshold) {
+        phase1_settle = std::max(phase1_settle, f.time);
+        continue;
+      }
+      const double done = f.time + cost.t_bisect;
+      // The receiver id depends on the split, which needs the child
+      // weights; bisect first with a placeholder, then fix the receiver.
+      const std::int32_t light = bisect_slot(f.slot, done, /*receiver=*/-1);
+      const Slot& heavy = slots[static_cast<std::size_t>(f.slot)];
+      const Slot& light_slot = slots[static_cast<std::size_t>(light)];
+      const std::int32_t n1 = lbb::core::ba_split_processors(
+          heavy.weight, light_slot.weight, f.range);
+      const std::int32_t receiver = f.proc_lo + n1;
+      slot_proc[static_cast<std::size_t>(light)] = receiver;
+      busy[static_cast<std::size_t>(receiver)] = 1;
+      if (trace) {
+        trace->record(done, f.proc_lo, TraceEvent::kBisect, heavy.weight);
+        trace->record(done, f.proc_lo, TraceEvent::kSend, light_slot.weight,
+                      receiver);
+        trace->record(done + cost.send_cost(f.proc_lo, receiver, n),
+                      receiver, TraceEvent::kReceive, light_slot.weight,
+                      f.proc_lo);
+      }
+      stack.push_back(Frame{f.slot, f.proc_lo, n1, done});
+      stack.push_back(Frame{light, receiver, f.range - n1,
+                            done + cost.send_cost(f.proc_lo, receiver, n)});
+    }
+    // Mop-up rounds: bisect everything still above the threshold, in
+    // synchronous iterations (detection + enumeration collectives).
+    for (;;) {
+      std::vector<std::int32_t> heavy_slots;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].weight > threshold) {
+          heavy_slots.push_back(static_cast<std::int32_t>(i));
+        }
+      }
+      if (heavy_slots.empty()) break;
+      ++m.mop_up_iterations;
+      const double mop_bisect_time =
+          phase1_settle + cost.collective_cost(n) + cost.t_bisect;
+      double worst_send = 0.0;
+      for (std::int32_t s : heavy_slots) {
+        const std::int32_t sender = slot_proc[static_cast<std::size_t>(s)];
+        const std::int32_t receiver = take_lowest_free();
+        worst_send =
+            std::max(worst_send, cost.send_cost(sender, receiver, n));
+        bisect_slot(s, mop_bisect_time, receiver);
+      }
+      phase1_settle +=
+          2.0 * cost.collective_cost(n) + cost.t_bisect + worst_send;
+      m.collective_ops += 2;
+    }
+  }
+  m.phase1_bisections = static_cast<std::int64_t>(slots.size()) - 1;
+
+  // Barrier (b) ending phase 1, then step (c): count + enumerate the free
+  // processors.
+  clock = phase1_settle + cost.collective_cost(n);
+  ++m.collective_ops;
+  clock += cost.collective_cost(n);
+  ++m.collective_ops;
+  m.phase1_end = clock;
+  if (trace) {
+    trace->record(clock, -1, TraceEvent::kCollective,
+                  2.0 * cost.collective_cost(n));
+    trace->record(clock, -1, TraceEvent::kPhase, 0.0, 2);
+  }
+
+  // --- Phase 2 -----------------------------------------------------------
+  while (free_procs > 0) {
+    ++m.phase2_iterations;
+    // Step (d): maximum weight m; step (e): count h of subproblems with
+    // weight >= m(1-alpha).
+    double max_w = 0.0;
+    for (const Slot& s : slots) max_w = std::max(max_w, s.weight);
+    const double cutoff = max_w * (1.0 - alpha);
+    std::vector<std::int32_t> candidates;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].weight >= cutoff) {
+        candidates.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    double round_cost = 2.0 * cost.collective_cost(n);
+    m.collective_ops += 2;
+    if (trace) {
+      trace->record(clock + round_cost, -1, TraceEvent::kCollective,
+                    round_cost);
+    }
+
+    // Bisect candidates in HF's heap order (weight desc, creation seq asc)
+    // so that the children's creation-order tie-breaks match sequential
+    // HF's exactly.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const Slot& sa = slots[static_cast<std::size_t>(a)];
+                const Slot& sb = slots[static_cast<std::size_t>(b)];
+                if (sa.weight != sb.weight) return sa.weight > sb.weight;
+                return sa.seq < sb.seq;
+              });
+    const auto h = static_cast<std::int32_t>(candidates.size());
+    std::int32_t k = h;
+    if (h > free_procs) {
+      // Keep only the f heaviest (a parallel selection/sorting collective).
+      k = free_procs;
+      candidates.resize(static_cast<std::size_t>(k));
+      round_cost += cost.collective_cost(n);
+      ++m.collective_ops;
+    }
+    {
+      const double bisect_time = clock + round_cost + cost.t_bisect;
+      double worst_send = 0.0;
+      for (std::int32_t s : candidates) {
+        const std::int32_t sender = slot_proc[static_cast<std::size_t>(s)];
+        const std::int32_t receiver = take_lowest_free();
+        worst_send =
+            std::max(worst_send, cost.send_cost(sender, receiver, n));
+        bisect_slot(s, bisect_time, receiver);
+      }
+      m.phase2_bisections += k;
+      round_cost += cost.t_bisect + worst_send;
+    }
+    if (free_procs > 0) {
+      round_cost += cost.collective_cost(n);  // barrier (h)
+      ++m.collective_ops;
+    }
+    clock += round_cost;
+  }
+
+  m.makespan = clock;
+  m.bisections = static_cast<std::int64_t>(slots.size()) - 1;
+
+  // Emit the partition on the processors the subproblems ended on.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& s = slots[i];
+    ctx.piece(std::move(s.problem), s.weight, slot_proc[i], s.depth, s.node);
+  }
+  return result;
+}
+
+}  // namespace lbb::sim

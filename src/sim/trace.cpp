@@ -1,0 +1,111 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lbb::sim {
+
+const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kBisect:
+      return "bisect";
+    case TraceEvent::kSend:
+      return "send";
+    case TraceEvent::kReceive:
+      return "receive";
+    case TraceEvent::kCollective:
+      return "collective";
+    case TraceEvent::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+std::int64_t Trace::count(TraceEvent event) const {
+  std::int64_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+double Trace::end_time() const {
+  double t = 0.0;
+  for (const TraceRecord& r : records_) t = std::max(t, r.time);
+  return t;
+}
+
+std::string Trace::render_timeline(std::int32_t max_processors,
+                                   std::int32_t width) const {
+  if (records_.empty() || max_processors < 1 || width < 1) return "";
+  std::int32_t max_proc = 0;
+  for (const TraceRecord& r : records_) {
+    max_proc = std::max(max_proc, r.processor);
+  }
+  const std::int32_t rows = std::min(max_processors, max_proc + 1);
+  const double horizon = std::max(end_time(), 1e-12);
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(rows),
+      std::string(static_cast<std::size_t>(width), '.'));
+  auto bucket = [&](double time) {
+    auto b = static_cast<std::int32_t>(
+        std::floor(time / horizon * (width - 1)));
+    return std::clamp(b, 0, width - 1);
+  };
+  auto paint = [&](std::int32_t row, std::int32_t col, char c) {
+    char& cell =
+        canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    // Priority: collectives > bisections > sends > receives > idle.
+    auto rank = [](char x) {
+      switch (x) {
+        case 'C':
+          return 4;
+        case 'B':
+          return 3;
+        case 's':
+          return 2;
+        case 'r':
+          return 1;
+        default:
+          return 0;
+      }
+    };
+    if (rank(c) > rank(cell)) cell = c;
+  };
+
+  for (const TraceRecord& r : records_) {
+    const std::int32_t col = bucket(r.time);
+    switch (r.event) {
+      case TraceEvent::kBisect:
+        if (r.processor < rows) paint(r.processor, col, 'B');
+        break;
+      case TraceEvent::kSend:
+        if (r.processor < rows) paint(r.processor, col, 's');
+        break;
+      case TraceEvent::kReceive:
+        if (r.processor < rows) paint(r.processor, col, 'r');
+        break;
+      case TraceEvent::kCollective:
+        for (std::int32_t row = 0; row < rows; ++row) paint(row, col, 'C');
+        break;
+      case TraceEvent::kPhase:
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "t=0" << std::string(static_cast<std::size_t>(width - 4), ' ')
+     << "t=" << horizon << "\n";
+  for (std::int32_t row = 0; row < rows; ++row) {
+    os << "P" << row << (row < 10 ? "  |" : " |")
+       << canvas[static_cast<std::size_t>(row)] << "|\n";
+  }
+  if (max_proc + 1 > rows) {
+    os << "(" << (max_proc + 1 - rows) << " more processors not shown)\n";
+  }
+  return os.str();
+}
+
+}  // namespace lbb::sim

@@ -1,0 +1,69 @@
+// Execution traces of simulated parallel runs.
+//
+// When a Trace is attached to a simulation (PhfSimOptions::trace or the
+// trace parameter of the BA-family simulators), every bisection, message
+// and collective is recorded with its simulated timestamp and processor.
+// The trace can be rendered as an ASCII Gantt timeline (one row per
+// processor) -- the visual counterpart of the paper's Section-3 cost
+// analysis -- and is used by tests to cross-check the metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbb::sim {
+
+/// Kinds of trace records.
+enum class TraceEvent : std::uint8_t {
+  kBisect,      ///< processor finished bisecting a subproblem
+  kSend,        ///< processor shipped a subproblem (aux = destination)
+  kReceive,     ///< processor received a subproblem
+  kCollective,  ///< a global operation completed (value = its cost)
+  kPhase,       ///< phase marker (aux = phase number)
+};
+
+[[nodiscard]] const char* trace_event_name(TraceEvent event);
+
+/// One timestamped record.
+struct TraceRecord {
+  double time = 0.0;
+  std::int32_t processor = 0;  ///< -1 for machine-wide events
+  TraceEvent event = TraceEvent::kBisect;
+  double value = 0.0;  ///< event-specific payload (weight, cost, ...)
+  std::int64_t aux = 0;
+};
+
+/// Append-only trace of one simulated run.
+class Trace {
+ public:
+  void record(double time, std::int32_t processor, TraceEvent event,
+              double value = 0.0, std::int64_t aux = 0) {
+    records_.push_back(TraceRecord{time, processor, event, value, aux});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Number of records of one kind.
+  [[nodiscard]] std::int64_t count(TraceEvent event) const;
+
+  /// Timestamp of the last record (0 if empty).
+  [[nodiscard]] double end_time() const;
+
+  /// ASCII Gantt chart: one row per processor (at most `max_processors`
+  /// rows), `width` time buckets.  Cell legend: 'B' bisection, 's' send,
+  /// 'r' receive, 'C' collective, '.' idle; machine-wide events paint a
+  /// 'C' column marker on every shown row.
+  [[nodiscard]] std::string render_timeline(std::int32_t max_processors = 16,
+                                            std::int32_t width = 72) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace lbb::sim

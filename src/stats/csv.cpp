@@ -1,0 +1,56 @@
+#include "stats/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lbb::stats {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width differs from header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write(file);
+  if (!file) {
+    throw std::runtime_error("CsvWriter: write failed for " + path);
+  }
+}
+
+}  // namespace lbb::stats

@@ -1,0 +1,38 @@
+// Minimal CSV writer (RFC-4180-style quoting) so the bench harnesses can
+// emit machine-readable results next to the human-readable tables
+// (--csv=FILE on the table/figure benches).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbb::stats {
+
+/// Row-oriented CSV document.
+class CsvWriter {
+ public:
+  /// Sets the header row (written first).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; column count must match the header when set.
+  void add_row(std::vector<std::string> row);
+
+  /// Writes the document; fields containing separators/quotes/newlines are
+  /// quoted and inner quotes doubled.
+  void write(std::ostream& os) const;
+
+  /// Convenience: writes to a file; throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace lbb::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lbb::stats {
+
+Histogram::Histogram(double lo, double hi, std::int32_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Histogram: need lo < hi");
+  }
+  if (bins < 1) {
+    throw std::invalid_argument("Histogram: need at least one bin");
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::int64_t>(
+      bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::int64_t Histogram::count(std::int32_t bin) const {
+  return counts_.at(static_cast<std::size_t>(bin));
+}
+
+double Histogram::bin_center(std::int32_t bin) const {
+  if (bin < 0 || bin >= bins()) {
+    throw std::out_of_range("Histogram::bin_center");
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::fraction(std::int32_t bin) const {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::sparkline() const {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  constexpr std::int32_t kMax = 9;
+  std::int64_t peak = 0;
+  for (const std::int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  out.reserve(counts_.size());
+  for (const std::int64_t c : counts_) {
+    const std::int32_t level =
+        peak == 0 ? 0
+                  : static_cast<std::int32_t>(std::ceil(
+                        static_cast<double>(c) * kMax /
+                        static_cast<double>(peak)));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace lbb::stats

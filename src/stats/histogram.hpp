@@ -1,0 +1,41 @@
+// Fixed-bin histograms with an ASCII sparkline renderer -- used by the
+// interval-study bench and the analysis utilities to show ratio and
+// alpha-hat distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbb::stats {
+
+/// Equal-width histogram over [lo, hi]; samples outside the range clamp
+/// into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::int32_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::int32_t bins() const noexcept {
+    return static_cast<std::int32_t>(counts_.size());
+  }
+  [[nodiscard]] std::int64_t count(std::int32_t bin) const;
+  /// Center value of a bin.
+  [[nodiscard]] double bin_center(std::int32_t bin) const;
+  /// Fraction of samples in a bin (0 if empty histogram).
+  [[nodiscard]] double fraction(std::int32_t bin) const;
+
+  /// One-line unicode-free sparkline: characters " .:-=+*#%@" scaled to
+  /// the largest bin.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace lbb::stats

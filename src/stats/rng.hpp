@@ -1,0 +1,91 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// The simulation experiments of the paper (Section 4) require i.i.d. draws
+// of the realized bisection fraction alpha-hat.  We do not use
+// <random>'s distributions because their output is implementation-defined;
+// xoshiro256** plus an explicit bits-to-double mapping gives bit-identical
+// results on every platform, which the test suite relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lbb::stats {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state and as a cheap stateless hash for path-indexed randomness.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one; used to hash (seed, node-path) pairs so
+/// that every node of a virtual bisection tree has an independent draw.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Small, fast, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Seed via SplitMix64 per the reference implementation's advice.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.  Plain modulo; the bias of
+  /// at most n/2^64 per draw is irrelevant for simulation workloads.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    return (*this)() % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Maps a 64-bit hash to a uniform double in [0,1); stateless companion to
+/// mix64 for path-indexed draws.
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace lbb::stats

@@ -1,0 +1,24 @@
+#include "stats/summary.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lbb::stats {
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("quantile: q outside [0,1]");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace lbb::stats

@@ -1,0 +1,78 @@
+// Streaming summary statistics (Welford) and fixed-sample summaries.
+//
+// The experiments of Section 4 of the paper report, per (algorithm, N),
+// the minimum / average / maximum performance ratio over 1000 trials plus
+// the sample variance.  RunningStats accumulates all of these in one pass
+// with numerically stable updates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace lbb::stats {
+
+/// One-pass min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// q in [0,1].  The input span is copied; the sample is not modified.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Convenience: median.
+[[nodiscard]] inline double median(std::span<const double> sample) {
+  return quantile(sample, 0.5);
+}
+
+}  // namespace lbb::stats

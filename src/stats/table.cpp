@@ -1,0 +1,69 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lbb::stats {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width differs from header");
+  }
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row.cells);
+
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[i])) << cells[i];
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      total += width[i] + (i == 0 ? 0 : 2);
+    }
+    os << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_line(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator_before) print_rule();
+    print_line(row.cells);
+  }
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+}  // namespace lbb::stats

@@ -1,0 +1,44 @@
+// Minimal aligned ASCII table writer used by the benchmark harnesses to
+// print Table-1-style and Figure-5-style output.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbb::stats {
+
+/// Column-aligned text table.  Cells are strings; numeric formatting is the
+/// caller's concern (see format helpers below).
+class TextTable {
+ public:
+  /// Sets the header row.  Column count is fixed by the header.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  /// Renders the table with padded columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Fixed-precision formatting helpers.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+[[nodiscard]] std::string fmt_int(long long value);
+
+}  // namespace lbb::stats

@@ -1,0 +1,104 @@
+// Tests for the partition/tree analysis utilities.
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed, double lo, double hi) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(lo, hi));
+}
+
+TEST(PieceStatistics, MatchesPartition) {
+  auto part = hf_partition(make_problem(3, 0.2, 0.5), 32);
+  const auto stats = piece_statistics(part);
+  EXPECT_EQ(stats.pieces, 32u);
+  EXPECT_EQ(stats.idle_processors, 0);
+  EXPECT_DOUBLE_EQ(stats.ratio, part.ratio());
+  EXPECT_DOUBLE_EQ(stats.max_weight, part.max_weight());
+  EXPECT_NEAR(stats.mean_weight, 1.0 / 32.0, 1e-12);
+  EXPECT_GT(stats.cv, 0.0);
+  EXPECT_LT(stats.cv, 1.0);
+}
+
+TEST(PieceStatistics, IdleProcessorsCounted) {
+  auto part = ba_star_partition(make_problem(5, 0.05, 0.5), 64, 0.05);
+  const auto stats = piece_statistics(part);
+  EXPECT_EQ(stats.idle_processors,
+            64 - static_cast<std::int32_t>(part.pieces.size()));
+  EXPECT_GT(stats.idle_processors, 0);  // BA' leaves processors idle
+}
+
+TEST(TreeStatistics, AlphaHatRangeMatchesDistribution) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto part = hf_partition(make_problem(7, 0.15, 0.45), 256, opt);
+  const auto stats = tree_statistics(part.tree);
+  EXPECT_EQ(stats.internal_nodes, 255u);
+  EXPECT_EQ(stats.leaves, 256u);
+  EXPECT_GE(stats.min_alpha_hat, 0.15 - 1e-12);
+  EXPECT_LE(stats.max_alpha_hat, 0.45 + 1e-12);
+  EXPECT_GT(stats.mean_alpha_hat, 0.2);
+  EXPECT_LT(stats.mean_alpha_hat, 0.4);
+  EXPECT_EQ(stats.max_depth, part.max_depth);
+  // Depth histogram covers all leaves.
+  std::int64_t total = 0;
+  for (const auto count : stats.depth_histogram) total += count;
+  EXPECT_EQ(total, 256);
+  EXPECT_GT(stats.mean_leaf_depth, 0.0);
+  EXPECT_LE(stats.mean_leaf_depth, stats.max_depth);
+}
+
+TEST(TreeStatistics, SingleNodeTree) {
+  BisectionTree tree;
+  tree.set_root(5.0);
+  const auto stats = tree_statistics(tree);
+  EXPECT_EQ(stats.leaves, 1u);
+  EXPECT_EQ(stats.internal_nodes, 0u);
+  EXPECT_EQ(stats.max_depth, 0);
+  EXPECT_DOUBLE_EQ(stats.min_alpha_hat, 0.0);
+}
+
+TEST(TreeStatistics, RejectsEmptyTree) {
+  BisectionTree tree;
+  EXPECT_THROW(static_cast<void>(tree_statistics(tree)),
+               std::invalid_argument);
+}
+
+TEST(SameWeights, DetectsEqualityAndDifference) {
+  auto p = make_problem(11, 0.1, 0.5);
+  auto a = hf_partition(p, 64);
+  auto b = hf_partition(p, 64);
+  EXPECT_TRUE(same_weights(a, b));
+  auto c = ba_partition(p, 64);
+  EXPECT_FALSE(same_weights(a, c));  // different algorithms differ a.s.
+  auto d = hf_partition(p, 63);
+  EXPECT_FALSE(same_weights(a, d));  // different piece counts
+}
+
+TEST(SameWeights, ToleranceApplies) {
+  Partition<SyntheticProblem> a;
+  a.processors = 1;
+  a.total_weight = 1.0;
+  a.pieces.push_back(Piece<SyntheticProblem>{
+      make_problem(1, 0.1, 0.5), 1.0, 0, 0, kNoNode});
+  Partition<SyntheticProblem> b;
+  b.processors = 1;
+  b.total_weight = 1.0 + 1e-12;
+  b.pieces.push_back(Piece<SyntheticProblem>{
+      make_problem(1, 0.1, 0.5), 1.0 + 1e-12, 0, 0, kNoNode});
+  EXPECT_FALSE(same_weights(a, b, 0.0));
+  EXPECT_TRUE(same_weights(a, b, 1e-9));
+}
+
+}  // namespace
+}  // namespace lbb::core

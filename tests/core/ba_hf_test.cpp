@@ -1,0 +1,138 @@
+// Tests for Algorithm BA-HF (Figure 4, Theorem 8).
+#include "core/ba_hf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/ba.hpp"
+#include "core/bounds.hpp"
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed, double lo, double hi) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(lo, hi));
+}
+
+TEST(BaHf, BasicInvariants) {
+  for (int n : {1, 2, 5, 64, 500}) {
+    auto part = ba_hf_partition(make_problem(2, 0.1, 0.5), n,
+                                BaHfParams{0.1, 1.0});
+    EXPECT_EQ(part.pieces.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(part.bisections, n - 1);
+    EXPECT_TRUE(part.validate());
+  }
+}
+
+TEST(BaHf, ReducesToHfForSmallN) {
+  // If N is below the switch threshold, BA-HF == HF exactly.
+  const double alpha = 0.1;
+  const double beta = 2.0;
+  const std::int32_t threshold = ba_hf_switch_threshold(alpha, beta);
+  auto problem = make_problem(13, alpha, 0.5);
+  for (int n = 1; n < threshold; n += 5) {
+    auto hybrid = ba_hf_partition(problem, n, BaHfParams{alpha, beta});
+    auto pure = hf_partition(problem, n);
+    EXPECT_EQ(hybrid.sorted_weights(), pure.sorted_weights()) << "n=" << n;
+  }
+}
+
+TEST(BaHf, TinyBetaActsLikeBaEarly) {
+  // With beta -> 0 the switch threshold collapses toward 2: BA-HF splits
+  // BA-style until 1 processor, i.e. behaves like BA.
+  const double alpha = 0.5;
+  auto problem = SyntheticProblem(3, AlphaDistribution::uniform(0.49, 0.5));
+  auto hybrid = ba_hf_partition(problem, 64, BaHfParams{alpha, 1e-9});
+  auto ba = ba_partition(problem, 64);
+  EXPECT_EQ(hybrid.sorted_weights(), ba.sorted_weights());
+}
+
+TEST(BaHf, RatioBetweenHfAndBaOnAverage) {
+  // Section 4: HF best, BA-HF in between, BA worst (statistically).
+  double hf_sum = 0.0;
+  double hybrid_sum = 0.0;
+  double ba_sum = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    auto problem = make_problem(static_cast<std::uint64_t>(1000 + t), 0.1,
+                                0.5);
+    hf_sum += hf_partition(problem, 256).ratio();
+    hybrid_sum +=
+        ba_hf_partition(problem, 256, BaHfParams{0.1, 1.0}).ratio();
+    ba_sum += ba_partition(problem, 256).ratio();
+  }
+  EXPECT_LT(hf_sum, hybrid_sum);
+  EXPECT_LT(hybrid_sum, ba_sum);
+}
+
+TEST(BaHf, LargerBetaImprovesAverageRatio) {
+  double sum_1 = 0.0;
+  double sum_3 = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    auto problem = make_problem(static_cast<std::uint64_t>(500 + t), 0.1,
+                                0.5);
+    sum_1 += ba_hf_partition(problem, 1 << 12, BaHfParams{0.1, 1.0}).ratio();
+    sum_3 += ba_hf_partition(problem, 1 << 12, BaHfParams{0.1, 3.0}).ratio();
+  }
+  EXPECT_LT(sum_3, sum_1);
+}
+
+TEST(BaHf, RejectsBadParameters) {
+  auto problem = make_problem(1, 0.2, 0.5);
+  EXPECT_THROW(ba_hf_partition(problem, 4, BaHfParams{0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ba_hf_partition(problem, 4, BaHfParams{0.2, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ba_hf_partition(problem, 0, BaHfParams{0.2, 1.0}),
+               std::invalid_argument);
+}
+
+// --- Theorem 8 sweep ---
+
+class BaHfBoundSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(BaHfBoundSweep, RatioWithinTheorem8) {
+  const auto [alpha_lo, beta, n] = GetParam();
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    auto part = ba_hf_partition(make_problem(seed, alpha_lo, 0.5), n,
+                                BaHfParams{alpha_lo, beta});
+    EXPECT_LE(part.ratio(), ba_hf_ratio_bound(alpha_lo, beta, n) + 1e-9)
+        << "alpha=" << alpha_lo << " beta=" << beta << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBetaNGrid, BaHfBoundSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 1.0 / 3.0),
+                       ::testing::Values(0.5, 1.0, 2.0, 3.0),
+                       ::testing::Values(2, 16, 128, 1024)));
+
+class BaHfAdversarialSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BaHfAdversarialSweep, PointMassWithinBound) {
+  const auto [alpha, beta] = GetParam();
+  SyntheticProblem p(77, AlphaDistribution::point(alpha));
+  for (int n : {2, 10, 64, 400}) {
+    auto part = ba_hf_partition(p, n, BaHfParams{alpha, beta});
+    EXPECT_LE(part.ratio(), ba_hf_ratio_bound(alpha, beta, n) + 1e-9)
+        << "alpha=" << alpha << " beta=" << beta << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PointMasses, BaHfAdversarialSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25, 0.5),
+                       ::testing::Values(0.5, 1.0, 3.0)));
+
+}  // namespace
+}  // namespace lbb::core

@@ -1,0 +1,182 @@
+// Tests for Algorithms BA and BA' (Figure 3, Lemma 5, Theorem 7).
+#include "core/ba.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed, double lo, double hi) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(lo, hi));
+}
+
+TEST(Ba, SingleProcessor) {
+  auto part = ba_partition(make_problem(1, 0.1, 0.5), 1);
+  ASSERT_EQ(part.pieces.size(), 1u);
+  EXPECT_EQ(part.bisections, 0);
+}
+
+TEST(Ba, ExactlyNPiecesAndBisections) {
+  for (int n : {2, 3, 9, 64, 1000}) {
+    auto part = ba_partition(make_problem(5, 0.05, 0.5), n);
+    EXPECT_EQ(part.pieces.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(part.bisections, n - 1);
+    EXPECT_TRUE(part.validate());
+  }
+}
+
+TEST(Ba, ProcessorRangesCoverAllProcessors) {
+  // Each piece's processor must be a distinct value in [0, n); validate()
+  // checks distinctness, here we additionally check full coverage.
+  const int n = 77;
+  auto part = ba_partition(make_problem(8, 0.1, 0.5), n);
+  std::vector<int> procs;
+  for (const auto& piece : part.pieces) procs.push_back(piece.processor);
+  std::sort(procs.begin(), procs.end());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(procs[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Ba, HeavierChildKeepsLowProcessor) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto part = ba_partition(make_problem(4, 0.1, 0.4), 16, opt);
+  // Root's heavier child (left) subtree must contain processor 0.
+  EXPECT_TRUE(part.tree.validate(0.1));
+  EXPECT_EQ(part.pieces.front().processor, 0);
+}
+
+TEST(Ba, AlphaObliviousMatchesAcrossDistributions) {
+  // BA takes no alpha parameter; two problems with identical bisection
+  // behaviour but declared under different distributions split identically.
+  SyntheticProblem a(10, AlphaDistribution::uniform(0.1, 0.5));
+  auto part = ba_partition(a, 64);
+  EXPECT_TRUE(part.validate());
+}
+
+TEST(Ba, DepthWithinTheorem7Bound) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  for (double lo : {0.1, 0.25, 0.45}) {
+    auto part = ba_partition(make_problem(3, lo, 0.5), 1 << 10, opt);
+    EXPECT_LE(part.max_depth, ba_depth_bound(lo, 1 << 10))
+        << "alpha=" << lo;
+  }
+}
+
+// --- Theorem 7 sweep ---
+
+class BaBoundSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(BaBoundSweep, RatioWithinTheorem7) {
+  const auto [alpha_lo, n, seed] = GetParam();
+  auto part = ba_partition(
+      make_problem(static_cast<std::uint64_t>(seed), alpha_lo, 0.5), n);
+  EXPECT_LE(part.ratio(), ba_ratio_bound(alpha_lo, n) + 1e-9)
+      << "alpha=" << alpha_lo << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaNGrid, BaBoundSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 1.0 / 3.0, 0.45),
+                       ::testing::Values(2, 3, 17, 64, 333, 1024),
+                       ::testing::Values(1, 2, 3)));
+
+class BaAdversarialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaAdversarialSweep, PointMassWithinBound) {
+  const double alpha = GetParam();
+  SyntheticProblem p(99, AlphaDistribution::point(alpha));
+  for (int n : {2, 5, 16, 100, 512}) {
+    auto part = ba_partition(p, n);
+    EXPECT_LE(part.ratio(), ba_ratio_bound(alpha, n) + 1e-9)
+        << "alpha=" << alpha << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PointMasses, BaAdversarialSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5));
+
+// --- Algorithm BA' ---
+
+TEST(BaStar, NeverBisectsBelowThreshold) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  const double alpha = 0.1;
+  const int n = 256;
+  auto problem = make_problem(21, alpha, 0.5);
+  const double threshold = phf_phase1_threshold(alpha, 1.0, n);
+  auto part = ba_star_partition(problem, n, alpha, opt);
+  // Every internal (bisected) node must have weight > threshold.
+  for (std::size_t i = 0; i < part.tree.size(); ++i) {
+    const auto& node = part.tree.node(static_cast<NodeId>(i));
+    if (node.left != kNoNode) {
+      EXPECT_GT(node.weight, threshold);
+    }
+  }
+  EXPECT_LE(part.pieces.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(part.validate());
+}
+
+TEST(BaStar, ProducesFewerPiecesThanBa) {
+  const double alpha = 0.1;
+  const int n = 1024;
+  auto problem = make_problem(33, alpha, 0.5);
+  auto star = ba_star_partition(problem, n, alpha);
+  auto full = ba_partition(problem, n);
+  EXPECT_LT(star.pieces.size(), full.pieces.size());
+}
+
+TEST(BaStar, InternalNodesAreSubsetOfHfBisections) {
+  // Every BA' bisection is a problem heavier than w(p) r_alpha / N, which
+  // HF certainly bisects; hence the final HF max weight is at most the
+  // minimum BA'-internal-node weight.
+  const double alpha = 0.15;
+  const int n = 128;
+  auto problem = make_problem(55, alpha, 0.5);
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto star = ba_star_partition(problem, n, alpha, opt);
+  auto hf = hf_partition(problem, n);
+  double min_internal = 1e300;
+  for (std::size_t i = 0; i < star.tree.size(); ++i) {
+    const auto& node = star.tree.node(static_cast<NodeId>(i));
+    if (node.left != kNoNode) {
+      min_internal = std::min(min_internal, node.weight);
+    }
+  }
+  EXPECT_LE(hf.max_weight(), min_internal + 1e-12);
+}
+
+TEST(BaStar, RatioWithinTheorem7) {
+  for (double alpha : {0.05, 0.1, 0.2, 0.3}) {
+    for (int n : {4, 32, 256}) {
+      auto part =
+          ba_star_partition(make_problem(3, alpha, 0.5), n, alpha);
+      EXPECT_LE(part.ratio(), ba_star_ratio_bound(alpha, n) + 1e-9)
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(BaStar, RequiresAlpha) {
+  EXPECT_THROW(ba_star_partition(make_problem(1, 0.1, 0.5), 4, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::core

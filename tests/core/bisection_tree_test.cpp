@@ -1,0 +1,89 @@
+// Tests for the BisectionTree audit structure.
+#include "core/bisection_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lbb::core {
+namespace {
+
+TEST(BisectionTree, EmptyIsValid) {
+  BisectionTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_TRUE(tree.validate(0.3));
+}
+
+TEST(BisectionTree, RootOnly) {
+  BisectionTree tree;
+  EXPECT_EQ(tree.set_root(10.0), 0);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.bisection_count(), 0u);
+  EXPECT_EQ(tree.max_leaf_depth(), 0);
+  EXPECT_TRUE(tree.validate(0.5));
+}
+
+TEST(BisectionTree, SingleBisection) {
+  BisectionTree tree;
+  tree.set_root(10.0);
+  const auto [l, r] = tree.add_bisection(0, 6.0, 4.0);
+  EXPECT_EQ(l, 1);
+  EXPECT_EQ(r, 2);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_EQ(tree.bisection_count(), 1u);
+  EXPECT_EQ(tree.max_leaf_depth(), 1);
+  EXPECT_TRUE(tree.validate(0.4));
+  // The 6/4 split is not a 0.45-bisection.
+  EXPECT_FALSE(tree.validate(0.45));
+}
+
+TEST(BisectionTree, RejectsDoubleRoot) {
+  BisectionTree tree;
+  tree.set_root(1.0);
+  EXPECT_THROW(tree.set_root(1.0), std::logic_error);
+}
+
+TEST(BisectionTree, RejectsRebisection) {
+  BisectionTree tree;
+  tree.set_root(1.0);
+  tree.add_bisection(0, 0.5, 0.5);
+  EXPECT_THROW(tree.add_bisection(0, 0.25, 0.25), std::logic_error);
+}
+
+TEST(BisectionTree, WeightConservationViolationDetected) {
+  BisectionTree tree;
+  tree.set_root(10.0);
+  tree.add_bisection(0, 6.0, 3.0);  // sums to 9, not 10
+  EXPECT_FALSE(tree.validate(0.2));
+}
+
+TEST(BisectionTree, LeavesEnumeration) {
+  BisectionTree tree;
+  tree.set_root(8.0);
+  tree.add_bisection(0, 5.0, 3.0);
+  tree.add_bisection(1, 3.0, 2.0);
+  const auto leaves = tree.leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0], 2);  // creation order
+  EXPECT_EQ(leaves[1], 3);
+  EXPECT_EQ(leaves[2], 4);
+  EXPECT_EQ(tree.max_leaf_depth(), 2);
+  EXPECT_TRUE(tree.validate(0.35));
+}
+
+TEST(BisectionTree, DeepChainDepth) {
+  BisectionTree tree;
+  tree.set_root(1024.0);
+  NodeId current = 0;
+  double w = 1024.0;
+  for (int i = 0; i < 10; ++i) {
+    const auto [l, r] = tree.add_bisection(current, w / 2.0, w / 2.0);
+    current = l;
+    w /= 2.0;
+  }
+  EXPECT_EQ(tree.max_leaf_depth(), 10);
+  EXPECT_EQ(tree.leaf_count(), 11u);
+  EXPECT_TRUE(tree.validate(0.5));
+}
+
+}  // namespace
+}  // namespace lbb::core

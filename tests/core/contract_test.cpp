@@ -1,0 +1,97 @@
+// Tests for the bisector-contract checker.
+#include "core/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "problems/alpha_dist.hpp"
+#include "problems/backtrack.hpp"
+#include "problems/fe_tree.hpp"
+#include "problems/pivot_list.hpp"
+#include "problems/synthetic.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(Contract, SyntheticPasses) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.2, 0.5));
+  const auto report =
+      check_bisector_contract(p, 500, 7, /*declared_alpha=*/0.2,
+                              /*tol=*/1e-9, /*min_weight=*/1e-6);
+  EXPECT_TRUE(report.ok) << report.issue;
+  EXPECT_EQ(report.bisections, 500);
+  EXPECT_GE(report.min_alpha_hat, 0.2 - 1e-12);
+  EXPECT_LE(report.max_conservation_error, 1e-12);
+}
+
+TEST(Contract, DetectsDeclaredAlphaViolation) {
+  // The class only has 0.1-bisectors; declaring 0.3 must fail.
+  SyntheticProblem p(2, AlphaDistribution::uniform(0.1, 0.2));
+  const auto report = check_bisector_contract(
+      p, 2000, 3, /*declared_alpha=*/0.3, 1e-9, 1e-9);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.issue.find("alpha-fraction"), std::string::npos);
+}
+
+TEST(Contract, DetectsBrokenConservation) {
+  struct Leaky {
+    double w = 1.0;
+    [[nodiscard]] double weight() const { return w; }
+    [[nodiscard]] std::pair<Leaky, Leaky> bisect() const {
+      return {Leaky{w * 0.5}, Leaky{w * 0.4}};  // loses 10%
+    }
+  };
+  const auto report =
+      check_bisector_contract(Leaky{}, 10, 1, 0.0, 1e-9, 1e-6);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.issue.find("not conserved"), std::string::npos);
+}
+
+TEST(Contract, DetectsNonPositiveChild) {
+  struct Degenerate {
+    double w = 1.0;
+    [[nodiscard]] double weight() const { return w; }
+    [[nodiscard]] std::pair<Degenerate, Degenerate> bisect() const {
+      return {Degenerate{w}, Degenerate{0.0}};
+    }
+  };
+  const auto report =
+      check_bisector_contract(Degenerate{}, 10, 1, 0.0, 1e-9, 1e-6);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.issue.find("non-positive"), std::string::npos);
+}
+
+TEST(Contract, RespectsMinWeightForAtomicSubstrates) {
+  // Pivot lists cannot bisect singletons; min_weight = 1 guards that.
+  lbb::problems::PivotListProblem p(3, 64);
+  const auto report = check_bisector_contract(p, 1000, 5, 0.0, 1e-9, 1.0);
+  EXPECT_TRUE(report.ok) << report.issue;
+  EXPECT_EQ(report.bisections, 63);  // fully decomposed, then stopped
+}
+
+TEST(Contract, FeTreeMeetsItsSeparatorGuarantee) {
+  const auto tree = lbb::problems::FeTree::adaptive_refinement(5, 600, 2.0);
+  lbb::problems::FeTreeProblem p(tree);
+  // 1/4 is a safe declared bound for unit leaves (1/3 minus rounding).
+  const auto report = check_bisector_contract(p, 300, 9, 0.25, 1e-9, 3.0);
+  EXPECT_TRUE(report.ok) << report.issue;
+  EXPECT_GE(report.min_alpha_hat, 0.25);
+}
+
+TEST(Contract, BacktrackAdditivityExact) {
+  lbb::problems::BacktrackProblem p(8);
+  const auto report = check_bisector_contract(p, 60, 11, 0.0, 0.0, 1.0);
+  EXPECT_TRUE(report.ok) << report.issue;
+  EXPECT_DOUBLE_EQ(report.max_conservation_error, 0.0);
+}
+
+TEST(Contract, RejectsBadBudget) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.2, 0.5));
+  const auto report = check_bisector_contract(p, 0, 1);
+  EXPECT_FALSE(report.ok);
+}
+
+}  // namespace
+}  // namespace lbb::core

@@ -1,0 +1,125 @@
+// Tests for the heterogeneous-processor extension.
+#include "core/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ba.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(0.1, 0.5));
+}
+
+TEST(Hetero, UniformSpeedsReduceToBa) {
+  const std::vector<double> speeds(32, 1.0);
+  auto hetero = hetero_ba_partition(make_problem(1), speeds);
+  auto plain = ba_partition(make_problem(1), 32);
+  EXPECT_EQ(hetero.sorted_weights(), plain.sorted_weights());
+  // Same processor assignment too.
+  for (std::size_t i = 0; i < hetero.pieces.size(); ++i) {
+    EXPECT_EQ(hetero.pieces[i].processor, plain.pieces[i].processor);
+  }
+  EXPECT_DOUBLE_EQ(hetero_ratio(hetero, speeds), plain.ratio());
+}
+
+TEST(Hetero, UniformSpeedsReduceToHfWeights) {
+  const std::vector<double> speeds(17, 2.0);
+  auto hetero = hetero_hf_partition(make_problem(2), speeds);
+  auto plain = hf_partition(make_problem(2), 17);
+  EXPECT_EQ(hetero.sorted_weights(), plain.sorted_weights());
+  EXPECT_NEAR(hetero_ratio(hetero, speeds), plain.ratio(), 1e-12);
+}
+
+TEST(Hetero, SpeedAwareBeatsSpeedOblivious) {
+  // Mixed machine: a few fast nodes, many slow ones.  Accounting for
+  // speeds must give a better realized makespan than ignoring them.
+  std::vector<double> speeds;
+  for (int i = 0; i < 8; ++i) speeds.push_back(4.0);
+  for (int i = 0; i < 24; ++i) speeds.push_back(1.0);
+  double aware = 0.0;
+  double oblivious = 0.0;
+  for (std::uint64_t seed = 10; seed < 40; ++seed) {
+    auto p = make_problem(seed);
+    aware += hetero_ratio(hetero_ba_partition(p, speeds), speeds);
+    oblivious += hetero_ratio(
+        ba_partition(p, static_cast<std::int32_t>(speeds.size())), speeds);
+  }
+  EXPECT_LT(aware, 0.8 * oblivious);
+}
+
+TEST(Hetero, HfRankMatchingBeatsIdentityAssignment) {
+  std::vector<double> speeds;
+  lbb::stats::Xoshiro256 rng(5);
+  for (int i = 0; i < 40; ++i) speeds.push_back(rng.uniform(0.5, 4.0));
+  double matched = 0.0;
+  double identity = 0.0;
+  for (std::uint64_t seed = 50; seed < 80; ++seed) {
+    auto p = make_problem(seed);
+    matched += hetero_ratio(hetero_hf_partition(p, speeds), speeds);
+    identity += hetero_ratio(hf_partition(p, 40), speeds);
+  }
+  EXPECT_LT(matched, identity);
+}
+
+TEST(Hetero, PartitionValidates) {
+  std::vector<double> speeds = {1.0, 3.0, 2.0, 0.5, 1.5};
+  auto ba = hetero_ba_partition(make_problem(6), speeds);
+  auto hf = hetero_hf_partition(make_problem(6), speeds);
+  EXPECT_TRUE(ba.validate());
+  EXPECT_TRUE(hf.validate());
+  EXPECT_EQ(ba.pieces.size(), 5u);
+  EXPECT_EQ(hf.pieces.size(), 5u);
+}
+
+TEST(Hetero, FastProcessorGetsHeaviestPiece) {
+  std::vector<double> speeds = {1.0, 1.0, 10.0, 1.0};
+  auto part = hetero_hf_partition(make_problem(7), speeds);
+  double heaviest = 0.0;
+  std::int32_t owner = -1;
+  for (const auto& piece : part.pieces) {
+    if (piece.weight > heaviest) {
+      heaviest = piece.weight;
+      owner = piece.processor;
+    }
+  }
+  EXPECT_EQ(owner, 2);
+}
+
+TEST(Hetero, ExtremeSkewStillCovered) {
+  // One very fast processor should absorb most of the weight under BA.
+  std::vector<double> speeds = {100.0, 1.0, 1.0, 1.0};
+  auto part = hetero_ba_partition(make_problem(8), speeds);
+  EXPECT_TRUE(part.validate());
+  double on_fast = 0.0;
+  for (const auto& piece : part.pieces) {
+    if (piece.processor == 0) on_fast = piece.weight;
+  }
+  EXPECT_GT(on_fast, 0.5);  // the fast node carries the bulk
+}
+
+TEST(Hetero, RejectsBadSpeeds) {
+  auto p = make_problem(9);
+  EXPECT_THROW(static_cast<void>(
+                   hetero_ba_partition(p, std::vector<double>{})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(hetero_ba_partition(
+                   p, std::vector<double>{1.0, 0.0})),
+               std::invalid_argument);
+  auto part = ba_partition(p, 4);
+  EXPECT_THROW(static_cast<void>(
+                   hetero_ratio(part, std::vector<double>{1.0, 1.0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::core

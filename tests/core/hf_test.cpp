@@ -1,0 +1,144 @@
+// Tests for Algorithm HF (Figure 1, Theorem 2).
+#include "core/hf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/bounds.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed, double lo, double hi) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(lo, hi));
+}
+
+TEST(Hf, SingleProcessorReturnsInput) {
+  auto part = hf_partition(make_problem(1, 0.2, 0.5), 1);
+  ASSERT_EQ(part.pieces.size(), 1u);
+  EXPECT_DOUBLE_EQ(part.pieces[0].weight, 1.0);
+  EXPECT_EQ(part.bisections, 0);
+  EXPECT_DOUBLE_EQ(part.ratio(), 1.0);
+  EXPECT_TRUE(part.validate());
+}
+
+TEST(Hf, UsesExactlyNMinusOneBisections) {
+  for (int n : {2, 3, 7, 64, 100}) {
+    auto part = hf_partition(make_problem(3, 0.1, 0.5), n);
+    EXPECT_EQ(part.bisections, n - 1);
+    EXPECT_EQ(part.pieces.size(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(part.validate());
+  }
+}
+
+TEST(Hf, WeightConservation) {
+  auto part = hf_partition(make_problem(17, 0.05, 0.5), 256);
+  double sum = 0.0;
+  for (const auto& piece : part.pieces) sum += piece.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Hf, RecordsTreeWhenAsked) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto part = hf_partition(make_problem(5, 0.2, 0.5), 32, opt);
+  EXPECT_EQ(part.tree.leaf_count(), 32u);
+  EXPECT_EQ(part.tree.bisection_count(), 31u);
+  EXPECT_TRUE(part.tree.validate(0.2));
+  EXPECT_EQ(part.tree.max_leaf_depth(), part.max_depth);
+}
+
+TEST(Hf, NoTreeByDefault) {
+  auto part = hf_partition(make_problem(5, 0.2, 0.5), 32);
+  EXPECT_TRUE(part.tree.empty());
+  EXPECT_GT(part.max_depth, 0);  // depth still tracked without the tree
+}
+
+TEST(Hf, DeterministicAcrossRuns) {
+  auto a = hf_partition(make_problem(11, 0.1, 0.5), 128);
+  auto b = hf_partition(make_problem(11, 0.1, 0.5), 128);
+  EXPECT_EQ(a.sorted_weights(), b.sorted_weights());
+  EXPECT_DOUBLE_EQ(a.ratio(), b.ratio());
+}
+
+TEST(Hf, RejectsBadN) {
+  EXPECT_THROW(hf_partition(make_problem(1, 0.2, 0.5), 0),
+               std::invalid_argument);
+  EXPECT_THROW(hf_partition(make_problem(1, 0.2, 0.5), -3),
+               std::invalid_argument);
+}
+
+TEST(Hf, EqualSplitGivesPerfectBalanceOnPowersOfTwo) {
+  SyntheticProblem p(9, AlphaDistribution::point(0.5));
+  for (int n : {2, 4, 8, 64, 1024}) {
+    auto part = hf_partition(p, n);
+    EXPECT_NEAR(part.ratio(), 1.0, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Hf, HeaviestAlwaysBisectedProperty) {
+  // After the run, no piece may be heavier than any internal node of the
+  // recorded tree (HF bisects heaviest-first, so every bisected node was at
+  // least as heavy as every surviving piece at that time; in particular the
+  // final max weight is <= the minimum internal-node weight).
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto part = hf_partition(make_problem(23, 0.1, 0.5), 200, opt);
+  double min_internal = 1e300;
+  for (std::size_t i = 0; i < part.tree.size(); ++i) {
+    const auto& node = part.tree.node(static_cast<NodeId>(i));
+    if (node.left != kNoNode) {
+      min_internal = std::min(min_internal, node.weight);
+    }
+  }
+  EXPECT_LE(part.max_weight(), min_internal + 1e-12);
+}
+
+// --- Theorem 2 sweep: the worst-case guarantee holds across alpha and N ---
+
+class HfBoundSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(HfBoundSweep, RatioWithinTheorem2) {
+  const auto [alpha_lo, n, seed] = GetParam();
+  auto part =
+      hf_partition(make_problem(static_cast<std::uint64_t>(seed), alpha_lo,
+                                0.5),
+                   n);
+  EXPECT_LE(part.ratio(), hf_ratio_bound(alpha_lo) + 1e-9)
+      << "alpha=" << alpha_lo << " n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaNGrid, HfBoundSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 1.0 / 3.0, 0.45),
+                       ::testing::Values(2, 3, 17, 64, 333, 1024),
+                       ::testing::Values(1, 2, 3)));
+
+// Worst-case distribution: every bisection is exactly (alpha, 1-alpha).
+class HfAdversarialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HfAdversarialSweep, PointMassStaysWithinBound) {
+  const double alpha = GetParam();
+  SyntheticProblem p(99, AlphaDistribution::point(alpha));
+  for (int n : {2, 5, 16, 100, 512}) {
+    auto part = hf_partition(p, n);
+    EXPECT_LE(part.ratio(), hf_ratio_bound(alpha) + 1e-9)
+        << "alpha=" << alpha << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PointMasses, HfAdversarialSweep,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.2, 0.25, 0.3,
+                                           1.0 / 3.0, 0.4, 0.5));
+
+}  // namespace
+}  // namespace lbb::core

@@ -1,0 +1,68 @@
+// Tests for the JSON export helpers.
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/metrics.hpp"
+#include "sim/phf.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(PartitionJson, ContainsAllFields) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.2, 0.5));
+  const auto part = hf_partition(p, 4);
+  const std::string json = partition_json(part);
+  EXPECT_NE(json.find("\"processors\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"bisections\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pieces\":["), std::string::npos);
+  // Four piece objects.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"processor\":"); pos != std::string::npos;
+       pos = json.find("\"processor\":", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(PartitionJson, EmptyPartitionOmitsRatio) {
+  Partition<SyntheticProblem> empty;
+  empty.processors = 2;
+  const std::string json = partition_json(empty);
+  EXPECT_EQ(json.find("\"ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"pieces\":[]"), std::string::npos);
+}
+
+TEST(TreeJson, RoundTripStructure) {
+  BisectionTree tree;
+  tree.set_root(10.0);
+  tree.add_bisection(0, 6.0, 4.0);
+  const std::string json = tree_json(tree);
+  EXPECT_NE(json.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"leaves\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bisections\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"weight\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":-1"), std::string::npos);
+}
+
+TEST(MetricsJson, ContainsAllFields) {
+  SyntheticProblem p(3, AlphaDistribution::uniform(0.1, 0.5));
+  const auto r = lbb::sim::phf_simulate(p, 32, 0.1);
+  const std::string json = lbb::sim::metrics_json(r.metrics);
+  EXPECT_NE(json.find("\"makespan\":"), std::string::npos);
+  EXPECT_NE(json.find("\"messages\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"phase2_iterations\":"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_probes\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbb::core

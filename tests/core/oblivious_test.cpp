@@ -1,0 +1,102 @@
+// Tests for the weight-oblivious baseline strategies.
+#include "core/oblivious.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+SyntheticProblem make_problem(std::uint64_t seed) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(0.1, 0.5));
+}
+
+class ObliviousBasics
+    : public ::testing::TestWithParam<ObliviousStrategy> {};
+
+TEST_P(ObliviousBasics, PartitionInvariants) {
+  const auto strategy = GetParam();
+  for (int n : {1, 2, 9, 64, 300}) {
+    auto part = oblivious_partition(make_problem(4), n, strategy, 7);
+    EXPECT_EQ(part.pieces.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(part.bisections, n - 1);
+    EXPECT_TRUE(part.validate());
+    EXPECT_GE(part.ratio(), 1.0);
+  }
+}
+
+TEST_P(ObliviousBasics, DeterministicPerSeed) {
+  const auto strategy = GetParam();
+  auto a = oblivious_partition(make_problem(5), 64, strategy, 11);
+  auto b = oblivious_partition(make_problem(5), 64, strategy, 11);
+  EXPECT_EQ(a.sorted_weights(), b.sorted_weights());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ObliviousBasics,
+                         ::testing::Values(ObliviousStrategy::kBreadthFirst,
+                                           ObliviousStrategy::kDepthFirst,
+                                           ObliviousStrategy::kRandom));
+
+TEST(Oblivious, DfsIsCatastrophicallyUnbalanced) {
+  // LIFO keeps splitting the newest child: one chain, so N-2 pieces are
+  // side products and the ratio is large.
+  auto dfs = oblivious_partition(make_problem(6), 128,
+                                 ObliviousStrategy::kDepthFirst);
+  auto hf = hf_partition(make_problem(6), 128);
+  EXPECT_GT(dfs.ratio(), 4.0 * hf.ratio());
+}
+
+TEST(Oblivious, BfsIsWorseThanHfButSane) {
+  // Level-order splitting ignores weight skew accumulated across levels.
+  double bfs_sum = 0.0;
+  double hf_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    bfs_sum += oblivious_partition(make_problem(seed), 256,
+                                   ObliviousStrategy::kBreadthFirst)
+                   .ratio();
+    hf_sum += hf_partition(make_problem(seed), 256).ratio();
+  }
+  EXPECT_GT(bfs_sum, hf_sum);
+  EXPECT_LT(bfs_sum, 30.0 * 20);  // not degenerate either
+}
+
+TEST(Oblivious, RandomSeedMatters) {
+  auto a = oblivious_partition(make_problem(7), 64,
+                               ObliviousStrategy::kRandom, 1);
+  auto b = oblivious_partition(make_problem(7), 64,
+                               ObliviousStrategy::kRandom, 2);
+  EXPECT_NE(a.sorted_weights(), b.sorted_weights());
+}
+
+TEST(Oblivious, StrategyNames) {
+  EXPECT_STREQ(oblivious_strategy_name(ObliviousStrategy::kBreadthFirst),
+               "oblivious-BFS");
+  EXPECT_STREQ(oblivious_strategy_name(ObliviousStrategy::kDepthFirst),
+               "oblivious-DFS");
+  EXPECT_STREQ(oblivious_strategy_name(ObliviousStrategy::kRandom),
+               "oblivious-random");
+}
+
+TEST(Oblivious, RejectsBadN) {
+  EXPECT_THROW(oblivious_partition(make_problem(1), 0,
+                                   ObliviousStrategy::kBreadthFirst),
+               std::invalid_argument);
+}
+
+TEST(Oblivious, RecordsTree) {
+  PartitionOptions opt;
+  opt.record_tree = true;
+  auto part = oblivious_partition(make_problem(9), 32,
+                                  ObliviousStrategy::kBreadthFirst, 0, opt);
+  EXPECT_EQ(part.tree.leaf_count(), 32u);
+  EXPECT_TRUE(part.tree.validate(0.1));
+}
+
+}  // namespace
+}  // namespace lbb::core

@@ -1,0 +1,148 @@
+// Tests for the Section-4 experiment harness (ratio + timing experiments).
+#include <gtest/gtest.h>
+
+#include "experiments/ratio_experiment.hpp"
+#include "experiments/timing_experiment.hpp"
+
+namespace lbb::experiments {
+namespace {
+
+RatioExperimentConfig small_config() {
+  RatioExperimentConfig c;
+  c.dist = lbb::problems::AlphaDistribution::uniform(0.1, 0.5);
+  c.log2_n = {5, 8};
+  c.trials = 50;
+  c.seed = 3;
+  return c;
+}
+
+TEST(RatioExperiment, ProducesAllCells) {
+  const auto result = run_ratio_experiment(small_config());
+  EXPECT_EQ(result.cells.size(), 4u * 2u);
+  for (const auto algo :
+       {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF}) {
+    for (const int k : {5, 8}) {
+      const auto& cell = result.cell(algo, k);
+      EXPECT_EQ(cell.trials, 50);
+      EXPECT_EQ(cell.ratio.count(), 50u);
+      EXPECT_GE(cell.ratio.min(), 1.0);
+      EXPECT_GT(cell.upper_bound, 1.0);
+    }
+  }
+  EXPECT_THROW(static_cast<void>(result.cell(Algo::kHF, 9)), std::out_of_range);
+}
+
+TEST(RatioExperiment, DeterministicInSeed) {
+  const auto a = run_ratio_experiment(small_config());
+  const auto b = run_ratio_experiment(small_config());
+  EXPECT_DOUBLE_EQ(a.cell(Algo::kHF, 8).ratio.mean(),
+                   b.cell(Algo::kHF, 8).ratio.mean());
+  auto other = small_config();
+  other.seed = 4;
+  const auto c = run_ratio_experiment(other);
+  EXPECT_NE(a.cell(Algo::kHF, 8).ratio.mean(),
+            c.cell(Algo::kHF, 8).ratio.mean());
+}
+
+TEST(RatioExperiment, ObservedAlwaysWithinUpperBound) {
+  auto config = small_config();
+  config.dist = lbb::problems::AlphaDistribution::uniform(0.05, 0.5);
+  const auto result = run_ratio_experiment(config);
+  for (const auto& cell : result.cells) {
+    EXPECT_LE(cell.ratio.max(), cell.upper_bound + 1e-9)
+        << algo_name(cell.algo) << " logN=" << cell.log2_n;
+  }
+}
+
+TEST(RatioExperiment, PaperOrderingHfBest) {
+  // Section 4: "the balancing quality was the best for Algorithm HF and the
+  // worst for Algorithm BA in all experiments".
+  const auto result = run_ratio_experiment(small_config());
+  for (const int k : {5, 8}) {
+    const double hf = result.cell(Algo::kHF, k).ratio.mean();
+    const double ba_hf = result.cell(Algo::kBAHF, k).ratio.mean();
+    const double ba = result.cell(Algo::kBA, k).ratio.mean();
+    EXPECT_LE(hf, ba_hf);
+    EXPECT_LE(ba_hf, ba);
+  }
+}
+
+TEST(RatioExperiment, BudgetCapsTrials) {
+  auto config = small_config();
+  config.bisection_budget = 32 * 10;  // only 10 trials at N=32
+  config.min_trials = 2;
+  const auto result = run_ratio_experiment(config);
+  EXPECT_EQ(result.cell(Algo::kHF, 5).trials, 10);
+  EXPECT_EQ(result.cell(Algo::kHF, 8).trials, 2);  // clamped to min_trials
+}
+
+TEST(RatioExperiment, RejectsBadConfig) {
+  auto config = small_config();
+  config.trials = 0;
+  EXPECT_THROW(run_ratio_experiment(config), std::invalid_argument);
+  config = small_config();
+  config.log2_n = {-1};
+  EXPECT_THROW(run_ratio_experiment(config), std::invalid_argument);
+}
+
+TEST(TimingExperiment, ParallelBeatsSequentialAtScale) {
+  TimingExperimentConfig config;
+  config.log2_n = {6, 12};
+  config.trials = 5;
+  const auto result = run_timing_experiment(config);
+  // At N = 2^12 every parallel algorithm must be far faster than
+  // sequential HF (Theta(N) vs O(log N)).
+  const double seq = result.cell(ParAlgo::kSeqHF, 12).makespan.mean();
+  for (const auto algo : {ParAlgo::kPHFOracle, ParAlgo::kPHFBaPrime,
+                          ParAlgo::kBA, ParAlgo::kBAHF}) {
+    EXPECT_LT(result.cell(algo, 12).makespan.mean(), seq / 4.0)
+        << par_algo_name(algo);
+  }
+}
+
+TEST(TimingExperiment, BaNeedsNoCollectives) {
+  TimingExperimentConfig config;
+  config.log2_n = {8};
+  config.trials = 3;
+  const auto result = run_timing_experiment(config);
+  EXPECT_DOUBLE_EQ(result.cell(ParAlgo::kBA, 8).collective_ops.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.cell(ParAlgo::kBAHF, 8).collective_ops.mean(), 0.0);
+  EXPECT_GT(result.cell(ParAlgo::kPHFOracle, 8).collective_ops.mean(), 0.0);
+}
+
+TEST(TimingExperiment, SequentialTimeFormula) {
+  lbb::sim::CostModel cm;
+  EXPECT_DOUBLE_EQ(sequential_hf_time(1, cm), 0.0);
+  EXPECT_DOUBLE_EQ(sequential_hf_time(5, cm), 8.0);
+  cm.t_send = 0.5;
+  EXPECT_DOUBLE_EQ(sequential_hf_time(3, cm), 3.0);
+}
+
+TEST(AlgoNames, Strings) {
+  EXPECT_STREQ(algo_name(Algo::kBA), "BA");
+  EXPECT_STREQ(algo_name(Algo::kBAStar), "BA*");
+  EXPECT_STREQ(algo_name(Algo::kBAHF), "BA-HF");
+  EXPECT_STREQ(algo_name(Algo::kHF), "HF");
+  EXPECT_STREQ(par_algo_name(ParAlgo::kPHFOracle), "PHF(oracle)");
+  EXPECT_STREQ(par_algo_name(ParAlgo::kSeqHF), "HF(seq)");
+}
+
+}  // namespace
+}  // namespace lbb::experiments
+
+// Appended: the randomized-probe manager in the timing experiment.
+namespace lbb::experiments {
+namespace {
+
+TEST(TimingExperiment, ProbeManagerAtLeastAsSlowAsOracle) {
+  TimingExperimentConfig config;
+  config.log2_n = {10};
+  config.trials = 4;
+  config.algos = {ParAlgo::kPHFOracle, ParAlgo::kPHFProbe};
+  const auto result = run_timing_experiment(config);
+  EXPECT_GE(result.cell(ParAlgo::kPHFProbe, 10).makespan.mean(),
+            result.cell(ParAlgo::kPHFOracle, 10).makespan.mean() - 1e-9);
+}
+
+}  // namespace
+}  // namespace lbb::experiments

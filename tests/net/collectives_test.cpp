@@ -1,0 +1,185 @@
+// Tests for the message-level collective operations: results must match
+// direct computation and round counts must match the theoretical bounds
+// the paper's cost model assumes.
+#include "net/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace lbb::net {
+namespace {
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  lbb::stats::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-10.0, 10.0);
+  return v;
+}
+
+TEST(Log2Ceil, Values) {
+  EXPECT_EQ(log2_ceil(0), 0);
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(4), 2);
+  EXPECT_EQ(log2_ceil(1024), 10);
+  EXPECT_EQ(log2_ceil(1025), 11);
+}
+
+TEST(Broadcast, DeliversToEveryProcessor) {
+  for (std::size_t n : {1u, 2u, 3u, 7u, 8u, 100u, 257u}) {
+    auto v = random_values(n, n);
+    const double payload = 42.5;
+    v[0] = payload;
+    const auto stats = broadcast(v, 0);
+    for (double x : v) EXPECT_DOUBLE_EQ(x, payload);
+    EXPECT_EQ(stats.rounds, log2_ceil(static_cast<std::int64_t>(n)));
+    EXPECT_EQ(stats.messages, static_cast<std::int64_t>(n) - 1);
+  }
+}
+
+TEST(Broadcast, NonzeroRoot) {
+  auto v = random_values(13, 3);
+  v[5] = -7.25;
+  const auto stats = broadcast(v, 5);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, -7.25);
+  EXPECT_EQ(stats.rounds, 4);  // ceil(log2 13)
+}
+
+TEST(Broadcast, RejectsBadRoot) {
+  std::vector<double> v(4, 0.0);
+  EXPECT_THROW(broadcast(v, 4), std::invalid_argument);
+  EXPECT_THROW(broadcast(v, -1), std::invalid_argument);
+}
+
+TEST(ReduceMax, MatchesDirectComputation) {
+  for (std::size_t n : {1u, 2u, 5u, 16u, 63u, 200u}) {
+    auto v = random_values(n, 17 + n);
+    const double expected = *std::max_element(v.begin(), v.end());
+    const auto stats = reduce_max(v);
+    EXPECT_DOUBLE_EQ(v[0], expected) << "n=" << n;
+    EXPECT_EQ(stats.rounds, log2_ceil(static_cast<std::int64_t>(n)));
+    EXPECT_EQ(stats.messages, static_cast<std::int64_t>(n) - 1);
+  }
+}
+
+TEST(ReduceSum, MatchesDirectComputation) {
+  for (std::size_t n : {1u, 3u, 32u, 100u}) {
+    auto v = random_values(n, 99 + n);
+    const double expected = std::accumulate(v.begin(), v.end(), 0.0);
+    reduce_sum(v);
+    EXPECT_NEAR(v[0], expected, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(AllReduceMax, EveryProcessorGetsTheMax) {
+  auto v = random_values(77, 5);
+  const double expected = *std::max_element(v.begin(), v.end());
+  const auto stats = all_reduce_max(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, expected);
+  EXPECT_EQ(stats.rounds, 2 * log2_ceil(77));
+}
+
+TEST(PrefixSum, MatchesDirectScan) {
+  for (std::size_t n : {1u, 2u, 9u, 64u, 150u}) {
+    auto v = random_values(n, 7 + n);
+    std::vector<double> expected(n);
+    std::partial_sum(v.begin(), v.end(), expected.begin());
+    const auto stats = prefix_sum(v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(v[i], expected[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+    EXPECT_EQ(stats.rounds, log2_ceil(static_cast<std::int64_t>(n)));
+  }
+}
+
+TEST(PrefixSum, EnumeratesFreeProcessors) {
+  // The PHF use case: given an indicator vector of free processors,
+  // the inclusive prefix sum assigns each free processor its ordinal.
+  std::vector<double> indicator = {0, 1, 1, 0, 1, 0, 0, 1};
+  prefix_sum(indicator);
+  EXPECT_DOUBLE_EQ(indicator[1], 1);
+  EXPECT_DOUBLE_EQ(indicator[2], 2);
+  EXPECT_DOUBLE_EQ(indicator[4], 3);
+  EXPECT_DOUBLE_EQ(indicator[7], 4);
+}
+
+TEST(Barrier, RoundsAreLogarithmic) {
+  EXPECT_EQ(barrier(1).rounds, 0);
+  EXPECT_EQ(barrier(2).rounds, 1);
+  EXPECT_EQ(barrier(1024).rounds, 10);
+  EXPECT_EQ(barrier(1000).rounds, 10);
+  EXPECT_THROW(static_cast<void>(barrier(0)), std::invalid_argument);
+}
+
+TEST(BitonicSort, SortsDescendingWithIdTieBreak) {
+  lbb::stats::Xoshiro256 rng(21);
+  for (std::size_t n : {1u, 2u, 5u, 16u, 33u, 100u}) {
+    std::vector<KeyId> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Coarse keys force ties so the id tie-break is exercised.
+      items.push_back(KeyId{std::floor(rng.uniform(0.0, 5.0)),
+                            static_cast<std::int32_t>(i)});
+    }
+    auto expected = items;
+    std::sort(expected.begin(), expected.end(),
+              [](const KeyId& a, const KeyId& b) {
+                if (a.key != b.key) return a.key > b.key;
+                return a.id < b.id;
+              });
+    bitonic_sort_desc(items);
+    ASSERT_EQ(items.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(items[i].key, expected[i].key) << "n=" << n;
+      EXPECT_EQ(items[i].id, expected[i].id) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BitonicSort, RoundsAreLogSquared) {
+  std::vector<KeyId> items(1024);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = KeyId{static_cast<double>(i % 37),
+                     static_cast<std::int32_t>(i)};
+  }
+  const auto stats = bitonic_sort_desc(items);
+  // k(k+1)/2 compare-exchange rounds for n = 2^k.
+  EXPECT_EQ(stats.rounds, 10 * 11 / 2);
+}
+
+TEST(CollectiveStats, Accumulate) {
+  CollectiveStats a{2, 10};
+  const CollectiveStats b{3, 5};
+  a += b;
+  EXPECT_EQ(a.rounds, 5);
+  EXPECT_EQ(a.messages, 15);
+}
+
+// The paper's cost-model assumption: one collective costs O(log N).  The
+// message-level schedules satisfy it for broadcast / reduce / scan /
+// barrier; sorting (phase-2 selection fallback) costs O(log^2 N), i.e. the
+// logarithmic PRAM-simulation slowdown the paper mentions.
+TEST(CostModelValidation, RoundBoundsHold) {
+  for (std::int64_t n : {2, 8, 100, 1024, 5000}) {
+    const std::int32_t log_n = log2_ceil(n);
+    std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+    EXPECT_LE(broadcast(v, 0).rounds, log_n);
+    EXPECT_LE(reduce_max(v).rounds, log_n);
+    EXPECT_LE(prefix_sum(v).rounds, log_n);
+    EXPECT_LE(barrier(static_cast<std::int32_t>(n)).rounds, log_n);
+    std::vector<KeyId> items(static_cast<std::size_t>(n),
+                             KeyId{1.0, 0});
+    EXPECT_LE(bitonic_sort_desc(items).rounds,
+              (log_n * (log_n + 1)) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace lbb::net

@@ -1,0 +1,127 @@
+// Tests for the backtrack-search (N-Queens) problem class.
+#include "problems/backtrack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+
+namespace lbb::problems {
+namespace {
+
+TEST(Backtrack, KnownSolutionCounts) {
+  // Classic N-Queens solution counts.
+  EXPECT_EQ(BacktrackProblem(4).count_solutions(), 2);
+  EXPECT_EQ(BacktrackProblem(5).count_solutions(), 10);
+  EXPECT_EQ(BacktrackProblem(6).count_solutions(), 4);
+  EXPECT_EQ(BacktrackProblem(7).count_solutions(), 40);
+  EXPECT_EQ(BacktrackProblem(8).count_solutions(), 92);
+}
+
+TEST(Backtrack, WeightIsPositiveInteger) {
+  BacktrackProblem p(8);
+  EXPECT_GE(p.weight(), 92.0);  // at least one leaf per solution
+  EXPECT_DOUBLE_EQ(p.weight(), std::floor(p.weight()));
+}
+
+TEST(Backtrack, BisectionIsExactlyAdditive) {
+  BacktrackProblem p(8);
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  EXPECT_GE(a.weight(), b.weight());
+  EXPECT_GT(b.weight(), 0.0);
+  // Solutions partition as well.
+  EXPECT_EQ(a.count_solutions() + b.count_solutions(), 92);
+}
+
+TEST(Backtrack, RepeatedBisectionConservesSolutions) {
+  std::vector<BacktrackProblem> pieces{BacktrackProblem(7)};
+  for (int step = 0; step < 15; ++step) {
+    // Split the heaviest splittable piece.
+    std::size_t heaviest = pieces.size();
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (pieces[i].weight() >= 2.0 &&
+          (heaviest == pieces.size() ||
+           pieces[i].weight() > pieces[heaviest].weight())) {
+        heaviest = i;
+      }
+    }
+    ASSERT_LT(heaviest, pieces.size());
+    auto [a, b] = pieces[heaviest].bisect();
+    pieces[heaviest] = std::move(a);
+    pieces.push_back(std::move(b));
+  }
+  std::int64_t solutions = 0;
+  double weight = 0.0;
+  for (const auto& piece : pieces) {
+    solutions += piece.count_solutions();
+    weight += piece.weight();
+  }
+  EXPECT_EQ(solutions, 40);
+  EXPECT_DOUBLE_EQ(weight, BacktrackProblem(7).weight());
+}
+
+TEST(Backtrack, GoodBisectorsNearTheRoot) {
+  // Near the root there are many sizable column subtrees, so the best
+  // split is close to even.
+  BacktrackProblem p(9);
+  EXPECT_GT(p.peek_alpha_hat(), 0.3);
+}
+
+TEST(Backtrack, DeterministicConstruction) {
+  BacktrackProblem a(6);
+  BacktrackProblem b(6);
+  EXPECT_DOUBLE_EQ(a.weight(), b.weight());
+  auto [a1, a2] = a.bisect();
+  auto [b1, b2] = b.bisect();
+  EXPECT_DOUBLE_EQ(a1.weight(), b1.weight());
+}
+
+TEST(Backtrack, WorksWithHfAndBa) {
+  BacktrackProblem p(9);
+  const int n = 12;
+  const auto hf = lbb::core::hf_partition(p, n);
+  const auto ba = lbb::core::ba_partition(p, n);
+  EXPECT_EQ(hf.pieces.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(hf.validate());
+  EXPECT_TRUE(ba.validate());
+  EXPECT_LT(hf.ratio(), 3.0);
+  // The search work is fully covered: per-piece solutions add up.
+  std::int64_t solutions = 0;
+  for (const auto& piece : hf.pieces) {
+    solutions += piece.problem.count_solutions();
+  }
+  EXPECT_EQ(solutions, 352);
+}
+
+TEST(Backtrack, RejectsBadBoard) {
+  EXPECT_THROW(BacktrackProblem(1), std::invalid_argument);
+  EXPECT_THROW(BacktrackProblem(17), std::invalid_argument);
+}
+
+TEST(Backtrack, LeafCannotBisect) {
+  // Split a small instance all the way down and check the leaf guard.
+  std::vector<BacktrackProblem> pieces{BacktrackProblem(4)};
+  for (std::size_t i = 0; i < pieces.size();) {
+    if (pieces[i].weight() >= 2.0) {
+      auto [a, b] = pieces[i].bisect();
+      pieces[i] = std::move(a);
+      pieces.push_back(std::move(b));
+    } else {
+      ++i;
+    }
+  }
+  for (auto& piece : pieces) {
+    EXPECT_DOUBLE_EQ(piece.weight(), 1.0);
+    EXPECT_THROW(static_cast<void>(piece.bisect()), std::logic_error);
+  }
+  // Total leaves of the 4-queens tree reassembled from singles.
+  EXPECT_DOUBLE_EQ(static_cast<double>(pieces.size()),
+                   BacktrackProblem(4).weight());
+}
+
+}  // namespace
+}  // namespace lbb::problems

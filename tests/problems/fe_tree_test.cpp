@@ -1,0 +1,196 @@
+// Tests for the FE-tree substrate (adaptive substructuring trees and their
+// 1/3-2/3 separator bisection).
+#include "problems/fe_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+namespace {
+
+TEST(FeTree, BalancedShape) {
+  const auto tree = FeTree::balanced(8);
+  EXPECT_EQ(tree.leaf_count(), 8u);
+  EXPECT_EQ(tree.size(), 15u);
+  EXPECT_DOUBLE_EQ(tree.total_cost(), 8.0);
+  EXPECT_EQ(tree.depth(), 3);
+}
+
+TEST(FeTree, BalancedNonPowerOfTwo) {
+  const auto tree = FeTree::balanced(5);
+  EXPECT_EQ(tree.leaf_count(), 5u);
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(FeTree, SingleLeaf) {
+  const auto tree = FeTree::balanced(1);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(FeTree, AdaptiveRefinementProducesRequestedLeaves) {
+  for (int leaves : {1, 2, 17, 256, 1000}) {
+    const auto tree = FeTree::adaptive_refinement(42, leaves);
+    EXPECT_EQ(tree.leaf_count(), static_cast<std::size_t>(leaves));
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(2 * leaves - 1));
+  }
+}
+
+TEST(FeTree, AdaptiveRefinementIsUnbalanced) {
+  // Strong grading near the singularity: depth far exceeds log2(leaves).
+  const auto tree = FeTree::adaptive_refinement(7, 1024, /*focus=*/3.0);
+  EXPECT_GT(tree.depth(), 12);
+}
+
+TEST(FeTree, AdaptiveRefinementDeterministicPerSeed) {
+  const auto a = FeTree::adaptive_refinement(5, 200);
+  const auto b = FeTree::adaptive_refinement(5, 200);
+  EXPECT_EQ(a.depth(), b.depth());
+  EXPECT_EQ(a.size(), b.size());
+  const auto c = FeTree::adaptive_refinement(6, 200);
+  // Different seed jitters differently (almost surely different shape).
+  EXPECT_TRUE(c.depth() != a.depth() || c.size() == a.size());
+}
+
+TEST(FeTreeProblem, WeightEqualsLeafCount) {
+  const auto tree = FeTree::adaptive_refinement(1, 300);
+  FeTreeProblem p(tree);
+  EXPECT_DOUBLE_EQ(p.weight(), 300.0);
+  EXPECT_EQ(p.leaf_count(), 300u);
+}
+
+TEST(FeTreeProblem, BisectConservesWeightAndLeaves) {
+  const auto tree = FeTree::adaptive_refinement(2, 500);
+  FeTreeProblem p(tree);
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  EXPECT_EQ(a.leaf_count() + b.leaf_count(), p.leaf_count());
+  EXPECT_GE(a.weight(), b.weight());
+  EXPECT_GT(b.weight(), 0.0);
+}
+
+TEST(FeTreeProblem, SeparatorGuaranteeUnitLeaves) {
+  // Property: every binary tree with unit leaf costs has a 1/3-2/3 edge
+  // separator, so alpha-hat >= 1/3 (up to integer rounding: the light side
+  // has at least ceil(L/3) - 1 + 1 leaves... we assert >= floor(L/3)/L).
+  lbb::stats::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int leaves = 2 + static_cast<int>(rng.below(400));
+    const auto tree = FeTree::adaptive_refinement(
+        rng(), leaves, /*focus=*/rng.uniform(0.0, 4.0),
+        /*singularity=*/rng.next_double());
+    FeTreeProblem p(tree);
+    const double alpha_hat = p.peek_alpha_hat();
+    const double floor_third =
+        std::floor(static_cast<double>(leaves) / 3.0) /
+        static_cast<double>(leaves);
+    EXPECT_GE(alpha_hat, std::min(floor_third, 1.0 / 3.0) - 1e-12)
+        << "leaves=" << leaves << " trial=" << trial;
+  }
+}
+
+TEST(FeTreeProblem, RepeatedBisectionReachesSingletons) {
+  const auto tree = FeTree::adaptive_refinement(3, 64);
+  std::vector<FeTreeProblem> pieces{FeTreeProblem(tree)};
+  // Fully decompose: every fragment with >= 2 leaves gets bisected.
+  for (std::size_t i = 0; i < pieces.size();) {
+    if (pieces[i].leaf_count() >= 2) {
+      auto [a, b] = pieces[i].bisect();
+      pieces[i] = std::move(a);
+      pieces.push_back(std::move(b));
+    } else {
+      ++i;
+    }
+  }
+  EXPECT_EQ(pieces.size(), 64u);
+  double total = 0.0;
+  for (const auto& piece : pieces) total += piece.weight();
+  EXPECT_DOUBLE_EQ(total, 64.0);
+}
+
+TEST(FeTreeProblem, CannotBisectSingleElement) {
+  const auto tree = FeTree::balanced(1);
+  FeTreeProblem p(tree);
+  EXPECT_THROW(static_cast<void>(p.bisect()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(p.peek_alpha_hat()), std::logic_error);
+}
+
+TEST(FeTreeProblem, WorksWithHf) {
+  const auto tree = FeTree::adaptive_refinement(4, 2000, 2.5);
+  const auto part = lbb::core::hf_partition(FeTreeProblem(tree), 16);
+  EXPECT_EQ(part.pieces.size(), 16u);
+  EXPECT_TRUE(part.validate());
+  // 1/3-bisectors => HF guarantees ratio <= 2 (Theorem 2), modulo the
+  // granularity slack of integral leaves (2000/16 = 125 per processor).
+  EXPECT_LE(part.ratio(), 2.1);
+}
+
+TEST(FeTreeProblem, WorksWithBa) {
+  const auto tree = FeTree::adaptive_refinement(8, 1500, 2.0);
+  const auto part = lbb::core::ba_partition(FeTreeProblem(tree), 12);
+  EXPECT_EQ(part.pieces.size(), 12u);
+  EXPECT_TRUE(part.validate());
+  EXPECT_LE(part.ratio(), lbb::core::ba_ratio_bound(1.0 / 4.0, 12) + 0.5);
+}
+
+TEST(FeTreeProblem, BalancedTreeSplitsPerfectly) {
+  const auto tree = FeTree::balanced(64);
+  const auto part = lbb::core::hf_partition(FeTreeProblem(tree), 8);
+  EXPECT_NEAR(part.ratio(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lbb::problems
+
+// Appended: FE-trees with non-uniform leaf costs (weighted elements).
+namespace lbb::problems {
+namespace {
+
+TEST(FeTreeWeighted, CostWeightedSeparator) {
+  // Hand-built tree: root -> (A, B); A -> (a1 cost 5, a2 cost 1);
+  // B is a leaf of cost 2.  Total 8; best cut removes A's heavy leaf a1
+  // (5 vs 3) or the subtree A (6 vs 2) -- the balance 5/3 wins.
+  FeTree tree;
+  tree.nodes.push_back(FeTree::Node{1, 2, 0.0});   // root
+  tree.nodes.push_back(FeTree::Node{3, 4, 0.0});   // A
+  tree.nodes.push_back(FeTree::Node{-1, -1, 2.0}); // B
+  tree.nodes.push_back(FeTree::Node{-1, -1, 5.0}); // a1
+  tree.nodes.push_back(FeTree::Node{-1, -1, 1.0}); // a2
+  FeTreeProblem p(tree);
+  EXPECT_DOUBLE_EQ(p.weight(), 8.0);
+  auto [heavy, light] = p.bisect();
+  EXPECT_DOUBLE_EQ(heavy.weight(), 5.0);
+  EXPECT_DOUBLE_EQ(light.weight(), 3.0);
+  EXPECT_DOUBLE_EQ(heavy.weight() + light.weight(), 8.0);
+}
+
+TEST(FeTreeWeighted, RemainderStaysConsistentAfterContraction) {
+  // Cutting a subtree must contract the parent and keep the remainder
+  // bisectable.
+  FeTree tree;
+  tree.nodes.push_back(FeTree::Node{1, 2, 0.0});    // root
+  tree.nodes.push_back(FeTree::Node{3, 4, 0.0});    // A
+  tree.nodes.push_back(FeTree::Node{5, 6, 0.0});    // B
+  tree.nodes.push_back(FeTree::Node{-1, -1, 3.0});  // a1
+  tree.nodes.push_back(FeTree::Node{-1, -1, 3.0});  // a2
+  tree.nodes.push_back(FeTree::Node{-1, -1, 3.0});  // b1
+  tree.nodes.push_back(FeTree::Node{-1, -1, 3.0});  // b2
+  FeTreeProblem p(tree);
+  auto [x, y] = p.bisect();  // 6 / 6
+  EXPECT_DOUBLE_EQ(x.weight(), 6.0);
+  EXPECT_DOUBLE_EQ(y.weight(), 6.0);
+  auto [x1, x2] = x.bisect();  // 3 / 3
+  EXPECT_DOUBLE_EQ(x1.weight(), 3.0);
+  EXPECT_DOUBLE_EQ(x2.weight(), 3.0);
+  EXPECT_EQ(x1.leaf_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lbb::problems

@@ -1,0 +1,156 @@
+// Tests for the 2-D grid-domain decomposition substrate.
+#include "problems/grid_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+
+namespace lbb::problems {
+namespace {
+
+std::shared_ptr<const GridField> uniform_field(int w, int h, double cost) {
+  std::vector<double> cells(static_cast<std::size_t>(w) *
+                                static_cast<std::size_t>(h),
+                            cost);
+  return std::make_shared<const GridField>(w, h, std::move(cells));
+}
+
+TEST(GridField, PrefixSumsExact) {
+  // 3x2 field with distinct costs.
+  std::vector<double> cells = {1, 2, 3, 4, 5, 6};  // row-major, y-major rows
+  GridField field(3, 2, cells);
+  EXPECT_DOUBLE_EQ(field.rect_sum(0, 0, 3, 2), 21.0);
+  EXPECT_DOUBLE_EQ(field.rect_sum(0, 0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.rect_sum(2, 1, 3, 2), 6.0);
+  EXPECT_DOUBLE_EQ(field.rect_sum(1, 0, 3, 2), 2 + 3 + 5 + 6.0);
+  EXPECT_DOUBLE_EQ(field.cell(1, 1), 5.0);
+}
+
+TEST(GridField, RandomHotspotsPositiveEverywhere) {
+  const auto field = GridField::random_hotspots(3, 64, 48, 8);
+  for (int y = 0; y < 48; y += 7) {
+    for (int x = 0; x < 64; x += 9) {
+      EXPECT_GT(field.cell(x, y), 0.0);
+    }
+  }
+  // Hotspots actually create contrast.
+  double lo = 1e300;
+  double hi = 0.0;
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      lo = std::min(lo, field.cell(x, y));
+      hi = std::max(hi, field.cell(x, y));
+    }
+  }
+  EXPECT_GT(hi, 2.0 * lo);
+}
+
+TEST(GridField, RejectsBadInput) {
+  EXPECT_THROW(GridField(0, 3, {}), std::invalid_argument);
+  EXPECT_THROW(GridField(2, 2, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(GridField(1, 1, {0.0}), std::invalid_argument);
+}
+
+TEST(GridProblem, WeightMatchesRectSum) {
+  const auto field = std::make_shared<const GridField>(
+      GridField::random_hotspots(1, 32, 32));
+  GridProblem whole(field);
+  EXPECT_DOUBLE_EQ(whole.weight(), field->rect_sum(0, 0, 32, 32));
+  GridProblem sub(field, 4, 8, 20, 30);
+  EXPECT_DOUBLE_EQ(sub.weight(), field->rect_sum(4, 8, 20, 30));
+}
+
+TEST(GridProblem, BisectionIsExactlyAdditive) {
+  const auto field = std::make_shared<const GridField>(
+      GridField::random_hotspots(5, 40, 24));
+  GridProblem p(field);
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  EXPECT_EQ(a.cells() + b.cells(), p.cells());
+  EXPECT_GE(a.weight(), b.weight());
+}
+
+TEST(GridProblem, UniformFieldSplitsNearHalf) {
+  const auto field = uniform_field(64, 64, 1.0);
+  GridProblem p(field);
+  EXPECT_NEAR(p.peek_alpha_hat(), 0.5, 1e-12);
+}
+
+TEST(GridProblem, CutsPerpendicularsToLongSide) {
+  const auto field = uniform_field(100, 4, 1.0);
+  GridProblem p(field);
+  auto [a, b] = p.bisect();
+  // A vertical cut: heights unchanged.
+  EXPECT_EQ(a.y1() - a.y0(), 4);
+  EXPECT_EQ(b.y1() - b.y0(), 4);
+  EXPECT_EQ(a.x1() - a.x0() + b.x1() - b.x0(), 100);
+}
+
+TEST(GridProblem, TallRectangleCutHorizontally) {
+  const auto field = uniform_field(4, 100, 1.0);
+  GridProblem p(field);
+  auto [a, b] = p.bisect();
+  EXPECT_EQ(a.x1() - a.x0(), 4);
+  EXPECT_EQ(b.x1() - b.x0(), 4);
+}
+
+TEST(GridProblem, SingleCellCannotBisect) {
+  const auto field = uniform_field(1, 1, 2.0);
+  GridProblem p(field);
+  EXPECT_THROW(static_cast<void>(p.bisect()), std::logic_error);
+}
+
+TEST(GridProblem, SingleRowStillSplits) {
+  const auto field = uniform_field(7, 1, 1.0);
+  GridProblem p(field);
+  auto [a, b] = p.bisect();
+  EXPECT_EQ(a.cells() + b.cells(), 7);
+  EXPECT_GE(b.cells(), 1);
+}
+
+TEST(GridProblem, GoodBisectorsOnSmoothFields) {
+  // Smooth hotspot fields admit close-to-even cuts at every level of a
+  // realistic decomposition.
+  const auto field = std::make_shared<const GridField>(
+      GridField::random_hotspots(7, 128, 128, 5));
+  GridProblem p(field);
+  std::vector<GridProblem> frontier{p};
+  double worst_alpha = 0.5;
+  for (int step = 0; step < 63; ++step) {
+    // Split the heaviest fragment, like HF would.
+    std::size_t heaviest = 0;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      if (frontier[i].weight() > frontier[heaviest].weight()) heaviest = i;
+    }
+    worst_alpha = std::min(worst_alpha, frontier[heaviest].peek_alpha_hat());
+    auto [a, b] = frontier[heaviest].bisect();
+    frontier[heaviest] = std::move(a);
+    frontier.push_back(std::move(b));
+  }
+  EXPECT_GT(worst_alpha, 0.25);  // empirically ~0.4+
+}
+
+TEST(GridProblem, WorksWithHfAndBa) {
+  const auto field = std::make_shared<const GridField>(
+      GridField::random_hotspots(11, 96, 96, 6));
+  GridProblem p(field);
+  const auto hf = lbb::core::hf_partition(p, 24);
+  const auto ba = lbb::core::ba_partition(p, 24);
+  EXPECT_TRUE(hf.validate());
+  EXPECT_TRUE(ba.validate());
+  EXPECT_LT(hf.ratio(), 1.5);  // smooth fields balance very well
+  EXPECT_LE(hf.ratio(), ba.ratio() + 0.5);
+}
+
+TEST(GridProblem, RejectsBadRectangles) {
+  const auto field = uniform_field(8, 8, 1.0);
+  EXPECT_THROW(GridProblem(field, 0, 0, 9, 8), std::invalid_argument);
+  EXPECT_THROW(GridProblem(field, 3, 3, 3, 6), std::invalid_argument);
+  EXPECT_THROW(GridProblem(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::problems

@@ -1,0 +1,91 @@
+// Tests for the random-pivot ordered-list problem class.
+#include "problems/pivot_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+#include "stats/summary.hpp"
+
+namespace lbb::problems {
+namespace {
+
+TEST(PivotList, WeightIsCount) {
+  PivotListProblem p(1, 1000);
+  EXPECT_DOUBLE_EQ(p.weight(), 1000.0);
+  EXPECT_EQ(p.begin(), 0);
+  EXPECT_EQ(p.end(), 1000);
+}
+
+TEST(PivotList, BisectionPartitionsTheRange) {
+  PivotListProblem p(2, 100);
+  auto [a, b] = p.bisect();
+  EXPECT_EQ(a.count() + b.count(), 100);
+  EXPECT_GE(a.count(), 1);
+  EXPECT_GE(b.count(), 1);
+  // The two halves are contiguous and cover [0, 100).
+  const auto lo = std::min(a.begin(), b.begin());
+  const auto hi = std::max(a.end(), b.end());
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 100);
+  EXPECT_TRUE(a.end() == b.begin() || b.end() == a.begin());
+}
+
+TEST(PivotList, SingletonCannotBisect) {
+  PivotListProblem p(3, 1);
+  EXPECT_THROW(static_cast<void>(p.bisect()), std::logic_error);
+}
+
+TEST(PivotList, PairAlwaysSplitsOneOne) {
+  PivotListProblem p(4, 2);
+  auto [a, b] = p.bisect();
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(PivotList, DeterministicPerNode) {
+  PivotListProblem p(5, 500);
+  auto [a1, b1] = p.bisect();
+  auto [a2, b2] = p.bisect();
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_EQ(b1.count(), b2.count());
+}
+
+TEST(PivotList, AlphaHatRoughlyUniform) {
+  // alpha-hat = min(k, n-k)/n with k uniform in {1..n-1} is ~U(0, 1/2]:
+  // mean ~ 1/4.
+  lbb::stats::RunningStats s;
+  for (std::uint64_t seed = 0; seed < 5000; ++seed) {
+    PivotListProblem p(seed, 10000);
+    auto [a, b] = p.bisect();
+    const double alpha_hat =
+        static_cast<double>(std::min(a.count(), b.count())) / 10000.0;
+    s.add(alpha_hat);
+    EXPECT_GT(alpha_hat, 0.0);
+    EXPECT_LE(alpha_hat, 0.5);
+  }
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(PivotList, WorksWithHf) {
+  // Quicksort-style decomposition: HF splits the list across processors.
+  const auto part = lbb::core::hf_partition(PivotListProblem(9, 100000), 32);
+  EXPECT_EQ(part.pieces.size(), 32u);
+  EXPECT_TRUE(part.validate());
+  // Balance is decent despite fully random pivots.
+  EXPECT_LT(part.ratio(), 4.0);
+}
+
+TEST(PivotList, WorksWithBa) {
+  const auto part = lbb::core::ba_partition(PivotListProblem(10, 50000), 16);
+  EXPECT_EQ(part.pieces.size(), 16u);
+  EXPECT_TRUE(part.validate());
+}
+
+TEST(PivotList, RejectsBadCount) {
+  EXPECT_THROW(PivotListProblem(1, 0), std::invalid_argument);
+  EXPECT_THROW(PivotListProblem(1, -5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::problems

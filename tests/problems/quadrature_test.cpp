@@ -1,0 +1,141 @@
+// Tests for the adaptive-quadrature problem class.
+#include "problems/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ba.hpp"
+#include "core/hf.hpp"
+
+namespace lbb::problems {
+namespace {
+
+QuadratureProblem peaked_1d(double tol = 1e-5) {
+  // Integrand with a sharp peak at x = 0.3: forces strong adaptivity.
+  Integrand f = [](std::span<const double> x) {
+    const double d = x[0] - 0.3;
+    return 1.0 / (d * d + 1e-3);
+  };
+  const double lo = 0.0;
+  const double hi = 1.0;
+  return QuadratureProblem(std::move(f), QuadratureConfig{tol, 40}, 1,
+                           std::span<const double>(&lo, 1),
+                           std::span<const double>(&hi, 1));
+}
+
+TEST(Quadrature, WeightIsPositiveInteger) {
+  auto p = peaked_1d();
+  EXPECT_GE(p.weight(), 1.0);
+  EXPECT_DOUBLE_EQ(p.weight(), std::floor(p.weight()));
+}
+
+TEST(Quadrature, PeakedIntegrandRefinesALot) {
+  auto p = peaked_1d();
+  EXPECT_GT(p.weight(), 50.0);  // many boxes near the peak
+}
+
+TEST(Quadrature, WeightsAreExactlyAdditive) {
+  auto p = peaked_1d();
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  EXPECT_GE(a.weight(), b.weight());
+  // Additivity persists one more level down.
+  if (a.weight() >= 2.0) {
+    auto [aa, ab] = a.bisect();
+    EXPECT_DOUBLE_EQ(aa.weight() + ab.weight(), a.weight());
+  }
+}
+
+TEST(Quadrature, ConvergedBoxCannotBisect) {
+  // A constant integrand converges immediately: weight 1 everywhere.
+  Integrand f = [](std::span<const double>) { return 1.0; };
+  const double lo = 0.0;
+  const double hi = 1.0;
+  QuadratureProblem p(std::move(f), QuadratureConfig{1e-6, 40}, 1,
+                      std::span<const double>(&lo, 1),
+                      std::span<const double>(&hi, 1));
+  EXPECT_DOUBLE_EQ(p.weight(), 1.0);
+  EXPECT_THROW(static_cast<void>(p.bisect()), std::logic_error);
+}
+
+TEST(Quadrature, IntegratesConstantExactly) {
+  Integrand f = [](std::span<const double>) { return 3.0; };
+  const double lo = 0.0;
+  const double hi = 2.0;
+  QuadratureProblem p(std::move(f), QuadratureConfig{1e-6, 40}, 1,
+                      std::span<const double>(&lo, 1),
+                      std::span<const double>(&hi, 1));
+  EXPECT_NEAR(p.integrate(), 6.0, 1e-12);
+}
+
+TEST(Quadrature, IntegratesSmoothFunctionAccurately) {
+  Integrand f = [](std::span<const double> x) { return std::sin(x[0]); };
+  const double lo = 0.0;
+  const double hi = 3.141592653589793;
+  QuadratureProblem p(std::move(f), QuadratureConfig{1e-7, 40}, 1,
+                      std::span<const double>(&lo, 1),
+                      std::span<const double>(&hi, 1));
+  EXPECT_NEAR(p.integrate(), 2.0, 1e-3);
+}
+
+TEST(Quadrature, PartitionedIntegralEqualsWholeIntegral) {
+  // Bisection splits at the scheme's own midpoints, so the sum of the
+  // pieces' integrals is exactly the whole integral.
+  auto p = peaked_1d(1e-4);
+  const double whole = p.integrate();
+  auto [a, b] = p.bisect();
+  EXPECT_NEAR(a.integrate() + b.integrate(), whole, 1e-12);
+}
+
+TEST(Quadrature, TwoDimensionalBox) {
+  Integrand f = [](std::span<const double> x) {
+    const double dx = x[0] - 0.5;
+    const double dy = x[1] - 0.5;
+    return std::exp(-40.0 * (dx * dx + dy * dy));
+  };
+  const double lo[2] = {0.0, 0.0};
+  const double hi[2] = {1.0, 1.0};
+  QuadratureProblem p(std::move(f), QuadratureConfig{1e-6, 30}, 2,
+                      std::span<const double>(lo, 2),
+                      std::span<const double>(hi, 2));
+  EXPECT_GT(p.weight(), 4.0);
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  // Gaussian integral over the plane: pi/40; the box captures most of it.
+  EXPECT_NEAR(p.integrate(), 3.141592653589793 / 40.0, 5e-3);
+}
+
+TEST(Quadrature, WorksWithHfAndBa) {
+  auto p = peaked_1d(1e-5);
+  const int n = 8;
+  const auto hf = lbb::core::hf_partition(p, n);
+  const auto ba = lbb::core::ba_partition(p, n);
+  EXPECT_EQ(hf.pieces.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(ba.pieces.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(hf.validate());
+  EXPECT_TRUE(ba.validate());
+  // HF never does worse than BA's bound here; both are sane.
+  EXPECT_LT(hf.ratio(), static_cast<double>(n));
+  // Work is conserved across the partition.
+  double total = 0.0;
+  for (const auto& piece : hf.pieces) total += piece.weight;
+  EXPECT_DOUBLE_EQ(total, p.weight());
+}
+
+TEST(Quadrature, RejectsBadArguments) {
+  Integrand f = [](std::span<const double>) { return 1.0; };
+  const double lo = 0.0;
+  const double hi = 1.0;
+  EXPECT_THROW(QuadratureProblem(f, QuadratureConfig{}, 0,
+                                 std::span<const double>(&lo, 1),
+                                 std::span<const double>(&hi, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(QuadratureProblem(f, QuadratureConfig{}, 1,
+                                 std::span<const double>(&hi, 1),
+                                 std::span<const double>(&lo, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::problems

@@ -1,0 +1,122 @@
+// Tests for the synthetic stochastic problem model (Section 4 of the
+// paper) and the alpha-hat distributions.
+#include "problems/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "problems/alpha_dist.hpp"
+#include "stats/summary.hpp"
+
+namespace lbb::problems {
+namespace {
+
+TEST(AlphaDistribution, ValidatesInterval) {
+  EXPECT_THROW(AlphaDistribution::uniform(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(AlphaDistribution::uniform(0.3, 0.2), std::invalid_argument);
+  EXPECT_THROW(AlphaDistribution::uniform(0.1, 0.6), std::invalid_argument);
+  EXPECT_NO_THROW(AlphaDistribution::uniform(0.5, 0.5));
+}
+
+TEST(AlphaDistribution, SamplesRespectSupport) {
+  const auto d = AlphaDistribution::uniform(0.1, 0.4);
+  for (double u : {0.0, 0.25, 0.5, 0.999999}) {
+    const double a = d.sample(u);
+    EXPECT_GE(a, 0.1);
+    EXPECT_LE(a, 0.4);
+  }
+  EXPECT_DOUBLE_EQ(AlphaDistribution::point(0.3).sample(0.7), 0.3);
+  EXPECT_DOUBLE_EQ(AlphaDistribution::two_point(0.1, 0.5).sample(0.2), 0.1);
+  EXPECT_DOUBLE_EQ(AlphaDistribution::two_point(0.1, 0.5).sample(0.9), 0.5);
+}
+
+TEST(AlphaDistribution, Describe) {
+  EXPECT_EQ(AlphaDistribution::uniform(0.1, 0.5).describe(), "U[0.10,0.50]");
+  EXPECT_EQ(AlphaDistribution::point(0.25).describe(), "point(0.25)");
+}
+
+TEST(Synthetic, WeightsConserveExactly) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.05, 0.5));
+  auto [a, b] = p.bisect();
+  EXPECT_DOUBLE_EQ(a.weight() + b.weight(), p.weight());
+  EXPECT_GE(a.weight(), b.weight());  // heavier first
+}
+
+TEST(Synthetic, AlphaHatWithinDeclaredInterval) {
+  SyntheticProblem root(7, AlphaDistribution::uniform(0.2, 0.45));
+  std::vector<SyntheticProblem> frontier{root};
+  for (int step = 0; step < 200; ++step) {
+    const auto p = frontier.back();
+    frontier.pop_back();
+    auto [a, b] = p.bisect();
+    const double alpha_hat = b.weight() / p.weight();
+    EXPECT_GE(alpha_hat, 0.2 - 1e-12);
+    EXPECT_LE(alpha_hat, 0.45 + 1e-12);
+    frontier.push_back(std::move(a));
+    if (step % 2 == 0) frontier.push_back(std::move(b));
+  }
+}
+
+TEST(Synthetic, PathHashedDrawsAreOrderIndependent) {
+  // Bisecting the same node twice (e.g. from two different algorithm runs)
+  // must give bit-identical children.
+  SyntheticProblem root(11, AlphaDistribution::uniform(0.1, 0.5));
+  auto [a1, b1] = root.bisect();
+  auto [a2, b2] = root.bisect();
+  EXPECT_DOUBLE_EQ(a1.weight(), a2.weight());
+  EXPECT_DOUBLE_EQ(b1.weight(), b2.weight());
+  EXPECT_EQ(a1.node_hash(), a2.node_hash());
+  // Grandchildren too.
+  auto [aa1, ab1] = a1.bisect();
+  auto [aa2, ab2] = a2.bisect();
+  EXPECT_DOUBLE_EQ(aa1.weight(), aa2.weight());
+  EXPECT_DOUBLE_EQ(ab1.weight(), ab2.weight());
+}
+
+TEST(Synthetic, SiblingsDrawIndependently) {
+  SyntheticProblem root(13, AlphaDistribution::uniform(0.1, 0.5));
+  auto [a, b] = root.bisect();
+  const double alpha_a = a.peek_alpha_hat();
+  const double alpha_b = b.peek_alpha_hat();
+  EXPECT_NE(alpha_a, alpha_b);  // a.s. different draws
+}
+
+TEST(Synthetic, DifferentSeedsDifferentInstances) {
+  SyntheticProblem p1(100, AlphaDistribution::uniform(0.1, 0.5));
+  SyntheticProblem p2(101, AlphaDistribution::uniform(0.1, 0.5));
+  EXPECT_NE(p1.peek_alpha_hat(), p2.peek_alpha_hat());
+}
+
+TEST(Synthetic, AlphaHatIsUniformOnAverage) {
+  // Mean of U[0.1, 0.5] is 0.3; sample many root draws.
+  lbb::stats::RunningStats s;
+  for (std::uint64_t seed = 0; seed < 20000; ++seed) {
+    SyntheticProblem p(seed, AlphaDistribution::uniform(0.1, 0.5));
+    s.add(p.peek_alpha_hat());
+  }
+  EXPECT_NEAR(s.mean(), 0.3, 0.005);
+  // Variance of U[a,b] is (b-a)^2/12.
+  EXPECT_NEAR(s.variance(), 0.4 * 0.4 / 12.0 * 0.16 / 0.16, 0.002);
+}
+
+TEST(Synthetic, DepthScalesWeightGeometrically) {
+  // Following always the lighter child shrinks weight by at least the
+  // distribution's lower bound per level... and at most upper bound.
+  SyntheticProblem p(17, AlphaDistribution::uniform(0.25, 0.5));
+  double w = p.weight();
+  SyntheticProblem current = p;
+  for (int d = 0; d < 30; ++d) {
+    auto [heavy, light] = current.bisect();
+    EXPECT_LE(light.weight(), 0.5 * w + 1e-15);
+    EXPECT_GE(light.weight(), 0.25 * w - 1e-15);
+    current = std::move(light);
+    w = current.weight();
+  }
+  EXPECT_GT(w, 0.0);
+  EXPECT_LT(w, std::pow(0.5, 30) + 1e-12);
+}
+
+}  // namespace
+}  // namespace lbb::problems

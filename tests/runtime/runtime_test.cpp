@@ -1,0 +1,203 @@
+// Tests for the thread pool and the real-thread partition executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace lbb::runtime {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 200; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(Executor, BusyTimesTrackWeights) {
+  using lbb::problems::AlphaDistribution;
+  using lbb::problems::SyntheticProblem;
+  SyntheticProblem p(3, AlphaDistribution::uniform(0.2, 0.5));
+  const auto part = lbb::core::hf_partition(p, 8);
+  // One worker: serial execution removes same-pool contention; external
+  // load can still stretch individual busy-waits, so tolerances are loose
+  // (this is a smoke test of the attribution, not a timing benchmark).
+  ThreadPool pool(1);
+  const auto report = execute_partition(
+      part, pool, [](const SyntheticProblem& piece) {
+        // Busy-wait proportional to weight (weights sum to 1).
+        const auto duration =
+            std::chrono::duration<double>(piece.weight() * 0.2);
+        const auto end = std::chrono::steady_clock::now() + duration;
+        while (std::chrono::steady_clock::now() < end) {
+        }
+      });
+  ASSERT_EQ(report.processor_busy.size(), 8u);
+  double total_busy = 0.0;
+  for (double b : report.processor_busy) {
+    EXPECT_GT(b, 0.0);
+    total_busy += b;
+  }
+  EXPECT_GE(total_busy, 0.19);
+  EXPECT_LE(total_busy, 1.0);
+  // Measured imbalance approximates the partition's ratio.
+  EXPECT_NEAR(report.imbalance(), part.ratio(), 0.6 * part.ratio());
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Executor, RejectsEmptyPartition) {
+  lbb::core::Partition<lbb::problems::SyntheticProblem> empty;
+  empty.processors = 4;
+  ThreadPool pool(1);
+  EXPECT_THROW(execute_partition(empty, pool,
+                                 [](const auto&) {}),
+               std::invalid_argument);
+}
+
+TEST(ExecutionReport, ImbalanceComputation) {
+  ExecutionReport r;
+  r.processor_busy = {1.0, 1.0, 2.0};
+  EXPECT_NEAR(r.imbalance(), 2.0 / (4.0 / 3.0), 1e-12);
+  ExecutionReport zero;
+  zero.processor_busy = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(zero.imbalance(), 1.0);
+  ExecutionReport empty;
+  EXPECT_THROW(static_cast<void>(empty.imbalance()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lbb::runtime
+
+// Appended: tests for the real-thread BA partitioner.
+#include "core/ba.hpp"
+#include "problems/fe_tree.hpp"
+#include "runtime/parallel_ba.hpp"
+
+namespace lbb::runtime {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(ParallelBa, MatchesSequentialBaExactly) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed : {1ULL, 7ULL}) {
+    SyntheticProblem p(seed, AlphaDistribution::uniform(0.1, 0.5));
+    for (int n : {1, 2, 16, 128, 500}) {
+      const auto par = parallel_ba_partition(p, n, pool);
+      const auto seq = lbb::core::ba_partition(p, n);
+      ASSERT_EQ(par.pieces.size(), seq.pieces.size()) << "n=" << n;
+      for (std::size_t i = 0; i < par.pieces.size(); ++i) {
+        EXPECT_EQ(par.pieces[i].processor, seq.pieces[i].processor);
+        EXPECT_DOUBLE_EQ(par.pieces[i].weight, seq.pieces[i].weight);
+      }
+      EXPECT_EQ(par.bisections, seq.bisections);
+      EXPECT_EQ(par.max_depth, seq.max_depth);
+    }
+  }
+}
+
+TEST(ParallelBa, ValidatesAndConserves) {
+  ThreadPool pool(3);
+  SyntheticProblem p(9, AlphaDistribution::uniform(0.05, 0.5));
+  const auto part = parallel_ba_partition(p, 200, pool);
+  EXPECT_TRUE(part.validate());
+  EXPECT_DOUBLE_EQ(part.ratio(),
+                   lbb::core::ba_partition(p, 200).ratio());
+}
+
+TEST(ParallelBa, WorksWithExpensiveBisectionProblems) {
+  // The point of parallelizing the partitioning: FE-tree separator
+  // computation is O(fragment size) per bisection.
+  ThreadPool pool(4);
+  const auto tree = lbb::problems::FeTree::adaptive_refinement(3, 3000, 2.0);
+  const auto par =
+      parallel_ba_partition(lbb::problems::FeTreeProblem(tree), 24, pool);
+  const auto seq =
+      lbb::core::ba_partition(lbb::problems::FeTreeProblem(tree), 24);
+  EXPECT_EQ(par.sorted_weights(), seq.sorted_weights());
+}
+
+TEST(ParallelBa, RepeatedRunsAreDeterministic) {
+  ThreadPool pool(8);
+  SyntheticProblem p(11, AlphaDistribution::uniform(0.2, 0.5));
+  const auto a = parallel_ba_partition(p, 64, pool);
+  const auto b = parallel_ba_partition(p, 64, pool);
+  EXPECT_EQ(a.sorted_weights(), b.sorted_weights());
+}
+
+TEST(ParallelBa, RejectsBadN) {
+  ThreadPool pool(1);
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.2, 0.5));
+  EXPECT_THROW(parallel_ba_partition(p, 0, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::runtime

@@ -1,0 +1,61 @@
+// Tests for the deterministic discrete-event queue.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lbb::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue<std::string> q;
+  q.push(1.0, "first");
+  q.push(1.0, "second");
+  q.push(1.0, "third");
+  EXPECT_EQ(q.pop().payload, "first");
+  EXPECT_EQ(q.pop().payload, "second");
+  EXPECT_EQ(q.pop().payload, "third");
+}
+
+TEST(EventQueue, InterleavedPushesKeepOrder) {
+  EventQueue<int> q;
+  q.push(5.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pop().payload, 2);
+  q.push(1.0, 3);
+  EXPECT_EQ(q.pop().payload, 3);
+  q.push(5.0, 4);  // same time as payload 1, pushed later
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 4);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue<int> q;
+  q.push(1.5, 42);
+  EXPECT_EQ(q.peek().payload, 42);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.5);
+}
+
+TEST(EventQueue, SequenceNumbersSurviveManyEvents) {
+  EventQueue<int> q;
+  for (int i = 0; i < 1000; ++i) q.push(7.0, i);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(q.pop().payload, i);
+  }
+}
+
+}  // namespace
+}  // namespace lbb::sim

@@ -1,0 +1,284 @@
+// Tests for Algorithm PHF on the simulated machine (Figure 2, Theorem 3).
+//
+// The headline property: PHF produces the *same partition* as sequential
+// HF, for both free-processor managers, while running in O(log N) simulated
+// time with bounded phase-2 iterations.
+#include "sim/phf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/bounds.hpp"
+#include "core/hf.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/par_ba.hpp"
+
+namespace lbb::sim {
+namespace {
+
+using lbb::core::hf_partition;
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(Phf, SingleProcessorTrivial) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  auto result = phf_simulate(p, 1, 0.1);
+  EXPECT_EQ(result.partition.pieces.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.makespan, 0.0);
+  EXPECT_EQ(result.metrics.messages, 0);
+}
+
+TEST(Phf, PartitionValidates) {
+  SyntheticProblem p(2, AlphaDistribution::uniform(0.1, 0.5));
+  auto result = phf_simulate(p, 100, 0.1);
+  EXPECT_TRUE(result.partition.validate());
+  EXPECT_EQ(result.partition.pieces.size(), 100u);
+  EXPECT_EQ(result.metrics.bisections, 99);
+}
+
+TEST(Phf, MessagesEqualBisections) {
+  // Every bisection ships exactly one child to a free processor.
+  SyntheticProblem p(3, AlphaDistribution::uniform(0.2, 0.5));
+  auto result = phf_simulate(p, 64, 0.2);
+  EXPECT_EQ(result.metrics.messages, result.metrics.bisections);
+  EXPECT_EQ(result.metrics.phase1_bisections +
+                result.metrics.phase2_bisections,
+            result.metrics.bisections);
+}
+
+TEST(Phf, UsesCollectives) {
+  SyntheticProblem p(4, AlphaDistribution::uniform(0.1, 0.5));
+  auto result = phf_simulate(p, 256, 0.1);
+  EXPECT_GT(result.metrics.collective_ops, 0);
+}
+
+TEST(Phf, Phase2IterationBoundHolds) {
+  for (double alpha : {0.05, 0.1, 0.25, 0.4}) {
+    for (int n : {16, 128, 1024}) {
+      SyntheticProblem p(5, AlphaDistribution::uniform(alpha, 0.5));
+      auto result = phf_simulate(p, n, alpha);
+      EXPECT_LE(result.metrics.phase2_iterations,
+                lbb::core::phase2_iteration_bound(alpha))
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(Phf, Phase1TreeDepthBoundHolds) {
+  const double alpha = 0.15;
+  SyntheticProblem p(6, AlphaDistribution::uniform(alpha, 0.5));
+  lbb::core::PartitionOptions popt;
+  popt.record_tree = true;
+  PhfSimOptions opt;
+  opt.partition = popt;
+  auto result = phf_simulate(p, 512, alpha, CostModel{}, opt);
+  // The full tree depth covers both phases; the phase-1 part alone is
+  // bounded by log_{1/(1-alpha)} N, phase 2 adds at most its iteration
+  // count.
+  EXPECT_LE(result.partition.max_depth,
+            lbb::core::phase1_depth_bound(alpha, 512) +
+                lbb::core::phase2_iteration_bound(alpha));
+}
+
+TEST(Phf, MakespanGrowsLogarithmically) {
+  // Theorem 3: O(log N) for fixed alpha.  Check that doubling N repeatedly
+  // adds roughly constant time (ratio of increments bounded), in stark
+  // contrast to sequential HF's Theta(N).
+  const double alpha = 0.25;
+  std::vector<double> makespans;
+  for (int k = 6; k <= 14; k += 2) {
+    SyntheticProblem p(7, AlphaDistribution::uniform(alpha, 0.5));
+    makespans.push_back(phf_simulate(p, 1 << k, alpha).metrics.makespan);
+  }
+  // makespan(2^14) should be far below linear scaling from 2^6:
+  // linear would give makespan[0] * 2^8.
+  EXPECT_LT(makespans.back(), makespans.front() * 32.0);
+  // And it must grow at least a bit (more levels, bigger collectives).
+  EXPECT_GT(makespans.back(), makespans.front());
+}
+
+TEST(Phf, OutOfProcessorsImpossible) {
+  // Regression guard: the free-processor pool must never underflow, even
+  // with the most adversarial point-mass distribution.
+  for (double alpha : {0.05, 1.0 / 3.0, 0.5}) {
+    SyntheticProblem p(8, AlphaDistribution::point(alpha));
+    EXPECT_NO_THROW(phf_simulate(p, 333, alpha));
+  }
+}
+
+// --- The equivalence theorem: PHF == HF ---
+
+class PhfEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, double, int, int>> {
+};
+
+TEST_P(PhfEquivalence, SamePartitionAsHf) {
+  const auto [lo, hi, n, seed] = GetParam();
+  SyntheticProblem p(static_cast<std::uint64_t>(seed),
+                     AlphaDistribution::uniform(lo, hi));
+  const auto hf = hf_partition(p, n);
+  for (const auto manager :
+       {FreeProcManager::kOracle, FreeProcManager::kBaPrime}) {
+    PhfSimOptions opt;
+    opt.manager = manager;
+    const auto phf = phf_simulate(p, n, lo, CostModel{}, opt);
+    EXPECT_EQ(phf.partition.sorted_weights(), hf.sorted_weights())
+        << "manager=" << (manager == FreeProcManager::kOracle ? "oracle"
+                                                              : "BA'")
+        << " lo=" << lo << " hi=" << hi << " n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PhfEquivalence,
+    ::testing::Combine(::testing::Values(0.01, 0.1, 0.3),
+                       ::testing::Values(0.5),
+                       ::testing::Values(2, 3, 17, 64, 256, 1000),
+                       ::testing::Values(1, 2, 3, 4)));
+
+INSTANTIATE_TEST_SUITE_P(
+    NarrowIntervals, PhfEquivalence,
+    ::testing::Values(std::make_tuple(0.05, 0.1, 33, 11),
+                      std::make_tuple(0.05, 0.1, 512, 12),
+                      std::make_tuple(0.2, 0.25, 33, 11),
+                      std::make_tuple(0.2, 0.25, 512, 12),
+                      std::make_tuple(0.45, 0.5, 512, 11)));
+
+TEST(PhfEquivalence, PointMassTies) {
+  // alpha-hat == 1/2 everywhere: maximal weight ties; the partitions must
+  // still agree as multisets.
+  SyntheticProblem p(9, AlphaDistribution::point(0.5));
+  for (int n : {2, 3, 5, 13, 64, 100}) {
+    const auto hf = hf_partition(p, n);
+    const auto phf = phf_simulate(p, n, 0.5);
+    EXPECT_EQ(phf.partition.sorted_weights(), hf.sorted_weights())
+        << "n=" << n;
+  }
+}
+
+TEST(PhfEquivalence, ManyRandomSeeds) {
+  const double alpha = 0.12;
+  const auto dist = AlphaDistribution::uniform(alpha, 0.5);
+  for (std::uint64_t seed = 100; seed < 160; ++seed) {
+    SyntheticProblem p(seed, dist);
+    const auto hf = hf_partition(p, 200);
+    const auto phf = phf_simulate(p, 200, alpha);
+    ASSERT_EQ(phf.partition.sorted_weights(), hf.sorted_weights())
+        << "seed=" << seed;
+  }
+}
+
+// --- Managers ---
+
+TEST(PhfManagers, BaPrimeUsesMoreCollectivesThanOracle) {
+  SyntheticProblem p(10, AlphaDistribution::uniform(0.1, 0.5));
+  PhfSimOptions oracle;
+  oracle.manager = FreeProcManager::kOracle;
+  PhfSimOptions baprime;
+  baprime.manager = FreeProcManager::kBaPrime;
+  const auto a = phf_simulate(p, 512, 0.1, CostModel{}, oracle);
+  const auto b = phf_simulate(p, 512, 0.1, CostModel{}, baprime);
+  EXPECT_GE(b.metrics.collective_ops, a.metrics.collective_ops);
+  EXPECT_EQ(a.partition.sorted_weights(), b.partition.sorted_weights());
+}
+
+TEST(PhfManagers, MopUpIterationsAreBounded) {
+  // Section 3.4: a constant number of catch-up iterations suffices for
+  // fixed alpha (each shrinks the max weight by (1-alpha)).
+  for (double alpha : {0.1, 0.25, 0.4}) {
+    SyntheticProblem p(11, AlphaDistribution::uniform(alpha, 0.5));
+    PhfSimOptions opt;
+    opt.manager = FreeProcManager::kBaPrime;
+    const auto r = phf_simulate(p, 1024, alpha, CostModel{}, opt);
+    EXPECT_LE(r.metrics.mop_up_iterations,
+              lbb::core::phase2_iteration_bound(alpha))
+        << "alpha=" << alpha;
+  }
+}
+
+// --- Cost model variants ---
+
+TEST(PhfCostModel, ConstantCollectivesAreFaster) {
+  SyntheticProblem p(12, AlphaDistribution::uniform(0.1, 0.5));
+  CostModel log_cost;
+  CostModel const_cost;
+  const_cost.collective = CostModel::Collective::kConstant;
+  const auto a = phf_simulate(p, 1024, 0.1, log_cost);
+  const auto b = phf_simulate(p, 1024, 0.1, const_cost);
+  EXPECT_GT(a.metrics.makespan, b.metrics.makespan);
+  EXPECT_EQ(a.partition.sorted_weights(), b.partition.sorted_weights());
+}
+
+TEST(PhfCostModel, MeshCollectivesAreSlower) {
+  SyntheticProblem p(13, AlphaDistribution::uniform(0.1, 0.5));
+  CostModel log_cost;
+  CostModel mesh_cost;
+  mesh_cost.collective = CostModel::Collective::kSqrt;
+  const auto a = phf_simulate(p, 4096, 0.1, log_cost);
+  const auto b = phf_simulate(p, 4096, 0.1, mesh_cost);
+  EXPECT_LT(a.metrics.makespan, b.metrics.makespan);
+}
+
+TEST(Phf, RejectsBadArguments) {
+  SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  EXPECT_THROW(phf_simulate(p, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(phf_simulate(p, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(phf_simulate(p, 4, 0.7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::sim
+
+// Appended: tests for the randomized-probing free-processor manager.
+namespace lbb::sim {
+namespace {
+
+using lbb::core::hf_partition;
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(PhfManagers, RandomProbeSamePartition) {
+  const double alpha = 0.1;
+  for (std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    SyntheticProblem p(seed, AlphaDistribution::uniform(alpha, 0.5));
+    PhfSimOptions opt;
+    opt.manager = FreeProcManager::kRandomProbe;
+    const auto phf = phf_simulate(p, 300, alpha, CostModel{}, opt);
+    const auto hf = hf_partition(p, 300);
+    EXPECT_EQ(phf.partition.sorted_weights(), hf.sorted_weights())
+        << "seed=" << seed;
+  }
+}
+
+TEST(PhfManagers, RandomProbePaysForMisses) {
+  SyntheticProblem p(34, AlphaDistribution::uniform(0.1, 0.5));
+  PhfSimOptions oracle;
+  oracle.manager = FreeProcManager::kOracle;
+  PhfSimOptions probe;
+  probe.manager = FreeProcManager::kRandomProbe;
+  const auto a = phf_simulate(p, 1024, 0.1, CostModel{}, oracle);
+  const auto b = phf_simulate(p, 1024, 0.1, CostModel{}, probe);
+  EXPECT_EQ(a.metrics.failed_probes, 0);
+  // Probing pays for misses; with a mostly-free machine early on, misses
+  // are possible but not guaranteed -- the makespan can only grow.
+  EXPECT_GE(b.metrics.makespan, a.metrics.makespan);
+  EXPECT_GE(b.metrics.failed_probes, 0);
+}
+
+TEST(PhfManagers, ProbeSeedChangesTimingNotPartition) {
+  SyntheticProblem p(35, AlphaDistribution::uniform(0.1, 0.5));
+  PhfSimOptions opt1;
+  opt1.manager = FreeProcManager::kRandomProbe;
+  opt1.probe_seed = 1;
+  PhfSimOptions opt2 = opt1;
+  opt2.probe_seed = 99;
+  const auto a = phf_simulate(p, 512, 0.1, CostModel{}, opt1);
+  const auto b = phf_simulate(p, 512, 0.1, CostModel{}, opt2);
+  EXPECT_EQ(a.partition.sorted_weights(), b.partition.sorted_weights());
+}
+
+}  // namespace
+}  // namespace lbb::sim

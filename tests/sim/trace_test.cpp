@@ -1,0 +1,125 @@
+// Tests for the simulation trace subsystem.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/par_ba.hpp"
+#include "sim/phf.hpp"
+
+namespace lbb::sim {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(Trace, RecordAndQuery) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.record(1.0, 0, TraceEvent::kBisect, 0.5);
+  trace.record(2.0, 1, TraceEvent::kReceive);
+  trace.record(1.5, 0, TraceEvent::kSend, 0.25, 1);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count(TraceEvent::kBisect), 1);
+  EXPECT_EQ(trace.count(TraceEvent::kCollective), 0);
+  EXPECT_DOUBLE_EQ(trace.end_time(), 2.0);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(Trace, EventNames) {
+  EXPECT_STREQ(trace_event_name(TraceEvent::kBisect), "bisect");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kCollective), "collective");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kPhase), "phase");
+}
+
+TEST(Trace, BaSimulationCrossChecksMetrics) {
+  SyntheticProblem p(3, AlphaDistribution::uniform(0.1, 0.5));
+  Trace trace;
+  const auto r = ba_simulate(p, 128, CostModel{}, {}, &trace);
+  EXPECT_EQ(trace.count(TraceEvent::kBisect), r.metrics.bisections);
+  EXPECT_EQ(trace.count(TraceEvent::kSend), r.metrics.messages);
+  EXPECT_EQ(trace.count(TraceEvent::kReceive), r.metrics.messages);
+  EXPECT_EQ(trace.count(TraceEvent::kCollective), 0);
+  // No event may happen after the makespan.
+  EXPECT_LE(trace.end_time(), r.metrics.makespan + 1e-9);
+}
+
+TEST(Trace, PhfSimulationCrossChecksMetrics) {
+  SyntheticProblem p(4, AlphaDistribution::uniform(0.15, 0.5));
+  Trace trace;
+  PhfSimOptions opt;
+  opt.trace = &trace;
+  const auto r = phf_simulate(p, 200, 0.15, CostModel{}, opt);
+  EXPECT_EQ(trace.count(TraceEvent::kBisect), r.metrics.bisections);
+  EXPECT_EQ(trace.count(TraceEvent::kSend), r.metrics.messages);
+  EXPECT_EQ(trace.count(TraceEvent::kReceive), r.metrics.messages);
+  EXPECT_GT(trace.count(TraceEvent::kCollective), 0);
+  // Phase markers: phase 1 then phase 2.
+  EXPECT_EQ(trace.count(TraceEvent::kPhase), 2);
+  double phase2_start = -1.0;
+  for (const auto& rec : trace.records()) {
+    if (rec.event == TraceEvent::kPhase && rec.aux == 2) {
+      phase2_start = rec.time;
+    }
+  }
+  EXPECT_DOUBLE_EQ(phase2_start, r.metrics.phase1_end);
+}
+
+TEST(Trace, BaHfLeafPhaseTraced) {
+  SyntheticProblem p(5, AlphaDistribution::uniform(0.2, 0.5));
+  Trace trace;
+  const auto r = ba_hf_simulate(p, 64, 0.2, 1.0, CostModel{}, {}, &trace);
+  EXPECT_EQ(trace.count(TraceEvent::kBisect), r.metrics.bisections);
+  EXPECT_EQ(trace.count(TraceEvent::kReceive), r.metrics.messages);
+}
+
+TEST(Trace, TimelineRendering) {
+  SyntheticProblem p(6, AlphaDistribution::uniform(0.1, 0.5));
+  Trace trace;
+  static_cast<void>(ba_simulate(p, 32, CostModel{}, {}, &trace));
+  const std::string art = trace.render_timeline(8, 40);
+  EXPECT_NE(art.find("P0"), std::string::npos);
+  EXPECT_NE(art.find("P7"), std::string::npos);
+  EXPECT_NE(art.find("more processors not shown"), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);  // bisections visible
+  // Each shown row is bounded by pipes around exactly `width` cells.
+  const auto first_row = art.find("P0");
+  const auto open = art.find('|', first_row);
+  const auto close = art.find('|', open + 1);
+  EXPECT_EQ(close - open - 1, 40u);
+}
+
+TEST(Trace, EmptyTimeline) {
+  Trace trace;
+  EXPECT_EQ(trace.render_timeline(), "");
+}
+
+TEST(Trace, TimesAreNonDecreasingPerProcessorInBa) {
+  // Within one processor's record stream, event times never go backwards
+  // (the DES is causally consistent).
+  SyntheticProblem p(7, AlphaDistribution::uniform(0.1, 0.5));
+  Trace trace;
+  static_cast<void>(ba_simulate(p, 256, CostModel{}, {}, &trace));
+  std::vector<double> last(256, -1.0);
+  for (const auto& rec : trace.records()) {
+    if (rec.processor < 0) continue;
+    // BA pushes frames LIFO so global record order is not sorted by time,
+    // but a receive must precede every later action of that processor.
+    if (rec.event == TraceEvent::kReceive) {
+      EXPECT_GE(rec.time, 0.0);
+    }
+    last[static_cast<std::size_t>(rec.processor)] =
+        std::max(last[static_cast<std::size_t>(rec.processor)], rec.time);
+  }
+  // Every processor eventually acted (256 pieces means 255 receives).
+  std::int64_t active = 0;
+  for (double t : last) {
+    if (t >= 0.0) ++active;
+  }
+  EXPECT_EQ(active, 256);
+}
+
+}  // namespace
+}  // namespace lbb::sim

@@ -1,0 +1,72 @@
+// Tests for the CSV writer.
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lbb::stats {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  CsvWriter csv;
+  csv.set_header({"algo", "logN", "ratio"});
+  csv.add_row({"HF", "10", "1.73"});
+  csv.add_row({"BA", "10", "2.93"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "algo,logN,ratio\nHF,10,1.73\nBA,10,2.93\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(CsvWriter, RejectsRaggedRows) {
+  CsvWriter csv;
+  csv.set_header({"a", "b"});
+  EXPECT_THROW(csv.add_row({"x"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, NoHeaderAllowed) {
+  CsvWriter csv;
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4", "5"});  // width free without a header
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "1,2\n3,4,5\n");
+}
+
+TEST(CsvWriter, WriteFileRoundTrip) {
+  const std::string path = "/tmp/lbb_csv_test.csv";
+  CsvWriter csv;
+  csv.set_header({"k", "v"});
+  csv.add_row({"x", "with,comma"});
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\nx,\"with,comma\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileFailureThrows) {
+  CsvWriter csv;
+  csv.add_row({"x"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/foo.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lbb::stats

@@ -1,0 +1,63 @@
+// Tests for the histogram utility.
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lbb::stats {
+namespace {
+
+TEST(Histogram, BinningBasics) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.9);   // bin 3
+  h.add(0.95);  // bin 3
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_EQ(h.count(3), 2);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.4);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  h.add(1.0);  // exactly hi clamps into the last bin
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(static_cast<void>(h.bin_center(5)), std::out_of_range);
+}
+
+TEST(Histogram, Sparkline) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 9; ++i) h.add(0.5);
+  h.add(0.1);
+  const std::string art = h.sparkline();
+  EXPECT_EQ(art.size(), 5u);
+  EXPECT_EQ(art[2], '@');  // the peak bin
+  EXPECT_EQ(art[4], ' ');  // empty bin
+  EXPECT_NE(art[0], ' ');  // the single sample still shows
+}
+
+TEST(Histogram, EmptySparkline) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.sparkline(), "   ");
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::stats

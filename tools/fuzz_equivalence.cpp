@@ -1,0 +1,114 @@
+// Randomized long-running cross-checker: generates random (interval, N,
+// seed) configurations and validates every cross-cutting invariant of the
+// library on each --
+//   * all partitions validate (distinct processors, conserved weight);
+//   * every algorithm respects its worst-case bound;
+//   * PHF (all three managers) reproduces HF's partition bit-exactly;
+//   * the simulated BA/BA'/BA-HF partitions equal the core ones;
+//   * HF <= BA-HF <= BA never inverts by more than float noise on
+//     paired instances... (orderings are statistical, so only the bounds
+//     and equalities are hard-checked here).
+//
+// Usage: fuzz_equivalence [--iterations=200] [--seed=1] [--max-logn=10]
+// Exit code 0 on success, 1 on the first violated invariant.
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_cli.hpp"
+#include "core/lbb.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/par_ba.hpp"
+#include "sim/phf.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace lbb;
+
+bool check(bool condition, const char* what, std::uint64_t iteration) {
+  if (!condition) {
+    std::cerr << "FUZZ FAILURE at iteration " << iteration << ": " << what
+              << "\n";
+  }
+  return condition;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const auto iterations =
+      static_cast<std::uint64_t>(cli.get_int("iterations", 200));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto max_logn = static_cast<std::int32_t>(cli.get_int("max-logn", 10));
+
+  stats::Xoshiro256 rng(seed ^ 0xf022ed51ceULL);
+  std::uint64_t failures = 0;
+
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    // Random configuration.
+    const double lo = rng.uniform(0.01, 0.49);
+    const double hi = rng.uniform(lo, 0.5);
+    const auto dist = problems::AlphaDistribution::uniform(lo, hi);
+    const auto n = static_cast<std::int32_t>(
+        2 + rng.below((std::uint64_t{1} << max_logn) - 2));
+    const double beta = rng.uniform(0.25, 4.0);
+    const problems::SyntheticProblem p(rng(), dist);
+
+    const auto hf = core::hf_partition(p, n);
+    const auto ba = core::ba_partition(p, n);
+    const auto ba_star = core::ba_star_partition(p, n, lo);
+    const auto ba_hf =
+        core::ba_hf_partition(p, n, core::BaHfParams{lo, beta});
+
+    bool ok = true;
+    ok &= check(hf.validate(), "HF partition invalid", it);
+    ok &= check(ba.validate(), "BA partition invalid", it);
+    ok &= check(ba_star.validate(), "BA* partition invalid", it);
+    ok &= check(ba_hf.validate(), "BA-HF partition invalid", it);
+
+    ok &= check(hf.ratio() <= core::hf_ratio_bound(lo) + 1e-9,
+                "HF bound violated", it);
+    ok &= check(ba.ratio() <= core::ba_ratio_bound(lo, n) + 1e-9,
+                "BA bound violated", it);
+    ok &= check(ba_star.ratio() <= core::ba_star_ratio_bound(lo, n) + 1e-9,
+                "BA* bound violated", it);
+    ok &= check(ba_hf.ratio() <= core::ba_hf_ratio_bound(lo, beta, n) + 1e-9,
+                "BA-HF bound violated", it);
+
+    for (const auto manager :
+         {sim::FreeProcManager::kOracle, sim::FreeProcManager::kBaPrime,
+          sim::FreeProcManager::kRandomProbe}) {
+      sim::PhfSimOptions opt;
+      opt.manager = manager;
+      opt.probe_seed = it + 1;
+      const auto phf = sim::phf_simulate(p, n, lo, sim::CostModel{}, opt);
+      ok &= check(phf.partition.sorted_weights() == hf.sorted_weights(),
+                  "PHF != HF", it);
+    }
+
+    const auto sim_ba = sim::ba_simulate(p, n);
+    ok &= check(sim_ba.partition.sorted_weights() == ba.sorted_weights(),
+                "sim BA != core BA", it);
+    ok &= check(sim_ba.metrics.collective_ops == 0,
+                "BA used a collective", it);
+    const auto sim_ba_hf = sim::ba_hf_simulate(p, n, lo, beta);
+    ok &= check(
+        sim_ba_hf.partition.sorted_weights() == ba_hf.sorted_weights(),
+        "sim BA-HF != core BA-HF", it);
+
+    if (!ok) ++failures;
+    if ((it + 1) % 50 == 0) {
+      std::cout << "fuzz: " << (it + 1) << "/" << iterations
+                << " iterations, " << failures << " failures\n";
+    }
+  }
+
+  if (failures == 0) {
+    std::cout << "fuzz: all " << iterations << " iterations passed\n";
+    return 0;
+  }
+  std::cerr << "fuzz: " << failures << " failing iterations\n";
+  return 1;
+}
