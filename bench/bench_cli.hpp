@@ -2,14 +2,18 @@
 //
 // Conventions: options are --name=value, bare flags are --name; --full
 // switches a bench from its quick default configuration to the
-// paper-faithful one (1000 trials for every N up to 2^20).
+// paper-faithful one (1000 trials for every N up to 2^20); --threads=K
+// runs Monte-Carlo trials on K worker threads (0 = one per hardware
+// thread) with results identical to --threads=1.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace lbb::bench {
@@ -58,6 +62,19 @@ class Cli {
                                        std::string fallback = "") const {
     const std::string* v = find(name);
     return v ? *v : fallback;
+  }
+
+  /// The --threads option, for the experiment engines: absent -> fallback
+  /// (default 1 = sequential); --threads=0 -> one per hardware thread;
+  /// --threads=K -> exactly K.  The experiment engines guarantee results
+  /// that are byte-identical for every value.
+  [[nodiscard]] std::int32_t threads(std::int32_t fallback = 1) const {
+    const auto t = get_int("threads", fallback);
+    if (t == 0) {
+      return static_cast<std::int32_t>(
+          std::max(1u, std::thread::hardware_concurrency()));
+    }
+    return static_cast<std::int32_t>(std::max<std::int64_t>(t, 1));
   }
 
  private:

@@ -1,7 +1,7 @@
 // Reproduces the Section-4 threshold study: influence of BA-HF's parameter
 // beta on the average performance ratio for alpha-hat ~ U[0.1, 0.5].
 //
-// Usage: beta_sweep [--full] [--trials=N] [--lo=0.1 --hi=0.5]
+// Usage: beta_sweep [--full] [--trials=N] [--lo=0.1 --hi=0.5] [--threads=K]
 //
 // Expected shape (paper): "the improvement of the average ratio was
 // approximately 10% when beta increased from 1.0 to 2.0 and another 5% when
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   base.dist = problems::AlphaDistribution::uniform(lo, hi);
   base.trials = static_cast<std::int32_t>(cli.get_int("trials", 300));
   base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  base.threads = cli.threads();
   base.log2_n = log2_n;
   if (!cli.flag("full")) {
     base.bisection_budget = std::int64_t{1} << 23;

@@ -4,6 +4,7 @@
 // Usage:
 //   fig5_avg_ratio            quick mode
 //   fig5_avg_ratio --full     1000 trials for every N = 2^5 ... 2^20
+//   fig5_avg_ratio --threads=8  trials on 8 workers (same output bytes)
 //
 // Expected shape (paper, Figure 5): four nearly flat series ordered
 // BA > BA* > BA-HF > HF, with HF's average ratio almost constant across the
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   config.beta = cli.get_double("beta", 1.0);
   config.trials = static_cast<std::int32_t>(cli.get_int("trials", 1000));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.threads = cli.threads();
   config.log2_n = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
   if (!cli.flag("full")) {
     config.bisection_budget = cli.get_int("budget", std::int64_t{1} << 23);

@@ -2,7 +2,7 @@
 // across different alpha-hat supports [lo, hi], including the narrow
 // [alpha, 2*alpha] intervals the paper singles out.
 //
-// Usage: interval_sweep [--full] [--trials=N]
+// Usage: interval_sweep [--full] [--trials=N] [--threads=K]
 //
 // Expected shapes (paper):
 //   * the sample variance is very small except for narrow [alpha, 2 alpha]
@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
         problems::AlphaDistribution::uniform(interval.lo, interval.hi);
     config.trials = static_cast<std::int32_t>(cli.get_int("trials", 200));
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+    config.threads = cli.threads();
     config.log2_n = log2_n;
     config.algos = {Algo::kBA, Algo::kBAHF, Algo::kHF};
     if (!cli.flag("full")) {

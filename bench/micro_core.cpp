@@ -3,8 +3,11 @@
 // (HF's heap, BA's recursion, per-bisection cost of the problem classes).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "core/hf.hpp"
 #include "core/lbb.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/fe_tree.hpp"
@@ -63,6 +66,36 @@ void BM_HfWithTreeRecording(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
 BENCHMARK(BM_HfWithTreeRecording)->Arg(4096);
+
+// The heap that orders HF's "always split the heaviest" loop, isolated
+// from the bisection work: push n entries in a scrambled weight order,
+// then pop them all.  This is the pattern hf_run drives (interleaved in
+// reality, but push-all/pop-all bounds both sift directions).
+void BM_HfHeapPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // splitmix-style scramble
+  for (auto& w : weights) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    w = static_cast<double>(z ^ (z >> 31)) * 0x1p-64;
+  }
+  for (auto _ : state) {
+    lbb::core::detail::HfHeap heap;
+    heap.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      heap.push({weights[static_cast<std::size_t>(i)], i,
+                 static_cast<std::int32_t>(i)});
+    }
+    double sink = 0.0;
+    while (!heap.empty()) sink += heap.pop().weight;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HfHeapPushPop)->RangeMultiplier(8)->Range(64, 1 << 15);
 
 void BM_SyntheticBisect(benchmark::State& state) {
   const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));

@@ -2,13 +2,16 @@
 // calculated (or approximated) easily".  How much balance is lost when the
 // balancer only sees w * (1 +- epsilon)?
 //
-// Usage: noise_robustness [--trials=N] [--logn=12]
+// Usage: noise_robustness [--trials=N] [--logn=12] [--threads=K]
 //
 // Expected shape: the achieved *true* ratio degrades gracefully --
 // roughly max(ratio(0), (1+epsilon)/(1-epsilon)) -- because misranking
 // only happens between problems whose weights differ by less than the
 // noise band.
+#include <algorithm>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench/bench_cli.hpp"
 #include "core/ba.hpp"
@@ -16,6 +19,8 @@
 #include "problems/alpha_dist.hpp"
 #include "problems/noisy_weight.hpp"
 #include "problems/synthetic.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -28,24 +33,54 @@ int main(int argc, char** argv) {
   const auto logn = static_cast<std::int32_t>(cli.get_int("logn", 12));
   const std::int32_t n = 1 << logn;
   const auto dist = problems::AlphaDistribution::uniform(0.1, 0.5);
+  const std::int32_t threads = cli.threads();
 
   std::cout << "Approximate-weight robustness, N = " << n
             << ", alpha-hat ~ " << dist.describe() << ", " << trials
             << " trials; entries are average *true* ratios\n\n";
 
+  std::optional<runtime::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  // Fixed chunking + in-order merge: results match the sequential loop
+  // bit-for-bit at any thread count (same scheme as src/experiments).
+  constexpr std::int64_t kChunk = 8;
+
   stats::TextTable table;
   table.set_header({"epsilon", "HF true ratio", "BA true ratio",
                     "(1+e)/(1-e)"});
   for (const double eps : {0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    const std::int64_t chunks = (trials + kChunk - 1) / kChunk;
+    std::vector<stats::RunningStats> hf_chunk(
+        static_cast<std::size_t>(chunks));
+    std::vector<stats::RunningStats> ba_chunk(
+        static_cast<std::size_t>(chunks));
+    const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
+                               std::int64_t hi) {
+      stats::RunningStats hf_local, ba_local;
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::uint64_t seed =
+            stats::mix64(71, static_cast<std::uint64_t>(t));
+        problems::SyntheticProblem inner(seed, dist);
+        problems::NoisyWeightProblem<problems::SyntheticProblem> p(
+            inner, eps, seed);
+        hf_local.add(problems::true_ratio(core::hf_partition(p, n)));
+        ba_local.add(problems::true_ratio(core::ba_partition(p, n)));
+      }
+      hf_chunk[static_cast<std::size_t>(chunk)] = hf_local;
+      ba_chunk[static_cast<std::size_t>(chunk)] = ba_local;
+    };
+    if (pool) {
+      runtime::parallel_for_chunks(*pool, 0, trials, kChunk, run_chunk);
+    } else {
+      std::int64_t chunk = 0;
+      for (std::int64_t lo = 0; lo < trials; lo += kChunk, ++chunk) {
+        run_chunk(chunk, lo, std::min<std::int64_t>(lo + kChunk, trials));
+      }
+    }
     stats::RunningStats hf, ba;
-    for (std::int32_t t = 0; t < trials; ++t) {
-      const std::uint64_t seed =
-          stats::mix64(71, static_cast<std::uint64_t>(t));
-      problems::SyntheticProblem inner(seed, dist);
-      problems::NoisyWeightProblem<problems::SyntheticProblem> p(
-          inner, eps, seed);
-      hf.add(problems::true_ratio(core::hf_partition(p, n)));
-      ba.add(problems::true_ratio(core::ba_partition(p, n)));
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      hf.merge(hf_chunk[static_cast<std::size_t>(c)]);
+      ba.merge(ba_chunk[static_cast<std::size_t>(c)]);
     }
     table.add_row({stats::fmt(eps, 2), stats::fmt(hf.mean(), 3),
                    stats::fmt(ba.mean(), 3),

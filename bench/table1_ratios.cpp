@@ -6,6 +6,7 @@
 //   table1_ratios                quick mode (reduced trials for huge N)
 //   table1_ratios --full         paper-faithful: 1000 trials everywhere
 //   table1_ratios --trials=200 --seed=9 --lo=0.01 --hi=0.5 --beta=1.0
+//   table1_ratios --threads=8    trials on 8 workers (same output bytes)
 //
 // Expected shape (paper, Table 1): observed ratios far below the ub rows;
 // HF smallest, BA-HF between, BA/BA* largest; HF's average almost constant
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   config.beta = cli.get_double("beta", 1.0);
   config.trials = static_cast<std::int32_t>(cli.get_int("trials", 1000));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.threads = cli.threads();
   config.log2_n = {5, 8, 11, 14, 17, 20};
   if (cli.flag("full")) {
     config.log2_n = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,

@@ -86,6 +86,7 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces.reserve(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   detail::ba_run(ctx, std::move(problem), n, 0, 0, root,
                  /*prune_below=*/-1.0);
@@ -106,6 +107,7 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces.reserve(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const double threshold = phf_phase1_threshold(alpha, out.total_weight, n);
   detail::ba_run(ctx, std::move(problem), n, 0, 0, root, threshold);

@@ -85,6 +85,7 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces.reserve(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const std::int32_t threshold =
       ba_hf_switch_threshold(params.alpha, params.beta);

@@ -38,6 +38,10 @@ class BisectionTree {
   std::pair<NodeId, NodeId> add_bisection(NodeId parent, double left_weight,
                                           double right_weight);
 
+  /// Pre-allocates storage for `nodes` nodes (a partition into k pieces
+  /// records 2k-1).
+  void reserve(std::size_t nodes) { nodes_.reserve(nodes); }
+
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }

@@ -19,6 +19,15 @@ class BuildContext {
   BuildContext(Partition<P>& out, bool record_tree)
       : out_(out), record_(record_tree) {}
 
+  /// Pre-sizes the tree arena for a partition of up to `pieces` leaves
+  /// (2*pieces - 1 nodes); no-op when recording is off.  Avoids the
+  /// O(log n) reallocation-and-copy cascade on the bisection hot path.
+  void reserve(std::int32_t pieces) {
+    if (record_ && pieces > 0) {
+      out_.tree.reserve(2 * static_cast<std::size_t>(pieces) - 1);
+    }
+  }
+
   /// Records the tree root (first call only); returns its node id.
   NodeId root(double weight) {
     if (!record_) return kNoNode;

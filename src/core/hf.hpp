@@ -9,11 +9,20 @@
 // bisected first.  Algorithm PHF (src/sim/phf.hpp) uses the identical rule,
 // which makes the two partitions equal as multisets of problems, not merely
 // equal in ratio.
+//
+// The selection structure is an inline 4-ary max-heap (HfHeap) rather than
+// std::priority_queue: a d-ary heap halves the tree height, sift-down
+// touches 4 contiguous children per level (one cache line), and the
+// comparator is inlined with no function-object indirection.  Because the
+// priority (weight, seq) is a TOTAL order (seq is unique), every correct
+// heap pops in the same sequence, so the partition is bit-identical to the
+// previous std::priority_queue implementation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/detail/build_context.hpp"
@@ -32,13 +41,64 @@ struct HfHeapEntry {
   std::int32_t slot;  ///< index into the runner's problem storage
 };
 
-struct HfHeapLess {
-  // std::priority_queue is a max-heap w.r.t. this "less-than".
-  [[nodiscard]] bool operator()(const HfHeapEntry& a,
-                                const HfHeapEntry& b) const noexcept {
-    if (a.weight != b.weight) return a.weight < b.weight;
-    return a.seq > b.seq;  // earlier-created wins ties
+/// Inline 4-ary max-heap of HfHeapEntry (heaviest on top, earlier-created
+/// wins ties).  Flat storage; children of node i are 4i+1 .. 4i+4.
+class HfHeap {
+ public:
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const HfHeapEntry& top() const noexcept {
+    return entries_.front();
   }
+
+  void push(HfHeapEntry e) {
+    std::size_t hole = entries_.size();
+    entries_.push_back(e);
+    // Hole-sift up: move parents down until e's position is found.
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 4;
+      if (!higher(e, entries_[parent])) break;
+      entries_[hole] = entries_[parent];
+      hole = parent;
+    }
+    entries_[hole] = e;
+  }
+
+  HfHeapEntry pop() {
+    const HfHeapEntry result = entries_.front();
+    const HfHeapEntry last = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      // Hole-sift down: promote the best child until `last` fits.
+      const std::size_t count = entries_.size();
+      std::size_t hole = 0;
+      for (;;) {
+        const std::size_t first_child = 4 * hole + 1;
+        if (first_child >= count) break;
+        const std::size_t end_child = std::min(first_child + 4, count);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < end_child; ++c) {
+          if (higher(entries_[c], entries_[best])) best = c;
+        }
+        if (!higher(entries_[best], last)) break;
+        entries_[hole] = entries_[best];
+        hole = best;
+      }
+      entries_[hole] = last;
+    }
+    return result;
+  }
+
+ private:
+  /// True iff a must be popped before b (strictly higher priority).
+  [[nodiscard]] static bool higher(const HfHeapEntry& a,
+                                   const HfHeapEntry& b) noexcept {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.seq < b.seq;  // earlier-created wins ties
+  }
+
+  std::vector<HfHeapEntry> entries_;
 };
 
 /// Runs HF on `problem` with `n` processors, emitting pieces with processor
@@ -60,15 +120,20 @@ void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
 
   std::vector<Slot> slots;
   slots.reserve(static_cast<std::size_t>(n));
-  std::priority_queue<HfHeapEntry, std::vector<HfHeapEntry>, HfHeapLess> heap;
+  // Current weight per slot; once the heap reaches n entries this holds
+  // every final piece weight, so no ordered drain of the heap is needed.
+  std::vector<double> slot_weight;
+  slot_weight.reserve(static_cast<std::size_t>(n));
+  HfHeap heap;
+  heap.reserve(static_cast<std::size_t>(n));
   std::int64_t next_seq = 0;
 
   slots.push_back(Slot{std::move(problem), depth0, node0});
+  slot_weight.push_back(w0);
   heap.push(HfHeapEntry{w0, next_seq++, 0});
 
   while (heap.size() < static_cast<std::size_t>(n)) {
-    const HfHeapEntry top = heap.top();
-    heap.pop();
+    const HfHeapEntry top = heap.pop();
     Slot& s = slots[static_cast<std::size_t>(top.slot)];
     auto [left, right] = s.problem.bisect();
     double wl = left.weight();
@@ -82,21 +147,18 @@ void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
     const std::int32_t depth = s.depth + 1;
     // Reuse the parent's slot for the left child.
     s = Slot{std::move(left), depth, node_l};
+    slot_weight[static_cast<std::size_t>(top.slot)] = wl;
     heap.push(HfHeapEntry{wl, next_seq++, top.slot});
     const auto right_slot = static_cast<std::int32_t>(slots.size());
     slots.push_back(Slot{std::move(right), depth, node_r});
+    slot_weight.push_back(wr);
     heap.push(HfHeapEntry{wr, next_seq++, right_slot});
   }
 
-  // Drain: assign processors in slot (creation) order for determinism.
-  std::vector<double> weight_of(slots.size());
-  while (!heap.empty()) {
-    weight_of[static_cast<std::size_t>(heap.top().slot)] = heap.top().weight;
-    heap.pop();
-  }
+  // Emit in slot (creation) order for determinism.
   for (std::size_t i = 0; i < slots.size(); ++i) {
     Slot& s = slots[i];
-    ctx.piece(std::move(s.problem), weight_of[i],
+    ctx.piece(std::move(s.problem), slot_weight[i],
               proc_lo + static_cast<ProcessorId>(i), s.depth, s.node);
   }
 }
@@ -113,6 +175,7 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces.reserve(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   detail::hf_run(ctx, std::move(problem), n, /*proc_lo=*/0, /*depth0=*/0,
                  root);

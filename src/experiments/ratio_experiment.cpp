@@ -1,11 +1,16 @@
 #include "experiments/ratio_experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/lbb.hpp"
-#include "stats/csv.hpp"
 #include "problems/synthetic.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "stats/csv.hpp"
 #include "stats/rng.hpp"
 
 namespace lbb::experiments {
@@ -27,34 +32,57 @@ const char* algo_name(Algo algo) {
   return "?";
 }
 
-const RatioCell& RatioExperimentResult::cell(Algo algo,
-                                             std::int32_t log2_n) const {
-  for (const RatioCell& c : cells) {
-    if (c.algo == algo && c.log2_n == log2_n) return c;
+namespace detail {
+
+/// 1 = sequential, 0 = hardware concurrency, k = exactly k workers.
+unsigned resolve_threads(std::int32_t threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("experiments: threads must be >= 0");
   }
-  throw std::out_of_range("RatioExperimentResult::cell: no such cell");
+  if (threads == 0) return std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(threads);
 }
 
-double ratio_of(Algo algo, std::uint64_t seed, const AlphaDistribution& dist,
-                std::int32_t n, double beta) {
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint64_t cell_key(Algo algo, std::int32_t log2_n) {
+  return (static_cast<std::uint64_t>(algo) << 32) |
+         static_cast<std::uint32_t>(log2_n);
+}
+
+struct TrialOutcome {
+  double ratio = 0.0;
+  std::int64_t bisections = 0;
+};
+
+TrialOutcome run_trial(Algo algo, std::uint64_t seed,
+                       const AlphaDistribution& dist, std::int32_t n,
+                       double beta) {
   SyntheticProblem root(seed, dist);
   const double alpha = dist.lower_bound();
   switch (algo) {
-    case Algo::kBA:
-      return lbb::core::ba_partition(root, n).ratio();
-    case Algo::kBAStar:
-      return lbb::core::ba_star_partition(root, n, alpha).ratio();
-    case Algo::kBAHF:
-      return lbb::core::ba_hf_partition(root, n,
-                                        lbb::core::BaHfParams{alpha, beta})
-          .ratio();
-    case Algo::kHF:
-      return lbb::core::hf_partition(root, n).ratio();
+    case Algo::kBA: {
+      const auto part = lbb::core::ba_partition(root, n);
+      return {part.ratio(), part.bisections};
+    }
+    case Algo::kBAStar: {
+      const auto part = lbb::core::ba_star_partition(root, n, alpha);
+      return {part.ratio(), part.bisections};
+    }
+    case Algo::kBAHF: {
+      const auto part = lbb::core::ba_hf_partition(
+          root, n, lbb::core::BaHfParams{alpha, beta});
+      return {part.ratio(), part.bisections};
+    }
+    case Algo::kHF: {
+      const auto part = lbb::core::hf_partition(root, n);
+      return {part.ratio(), part.bisections};
+    }
   }
-  throw std::invalid_argument("ratio_of: bad algorithm");
+  throw std::invalid_argument("run_trial: bad algorithm");
 }
-
-namespace {
 
 double upper_bound_of(Algo algo, double alpha, double beta, std::int32_t n) {
   switch (algo) {
@@ -71,6 +99,34 @@ double upper_bound_of(Algo algo, double alpha, double beta, std::int32_t n) {
 }
 
 }  // namespace
+
+double ratio_of(Algo algo, std::uint64_t seed, const AlphaDistribution& dist,
+                std::int32_t n, double beta) {
+  return run_trial(algo, seed, dist, n, beta).ratio;
+}
+
+const RatioCell& RatioExperimentResult::cell(Algo algo,
+                                             std::int32_t log2_n) const {
+  if (!cell_index.empty()) {
+    const auto it = cell_index.find(cell_key(algo, log2_n));
+    if (it == cell_index.end()) {
+      throw std::out_of_range("RatioExperimentResult::cell: no such cell");
+    }
+    return cells[it->second];
+  }
+  for (const RatioCell& c : cells) {
+    if (c.algo == algo && c.log2_n == log2_n) return c;
+  }
+  throw std::out_of_range("RatioExperimentResult::cell: no such cell");
+}
+
+void RatioExperimentResult::rebuild_index() {
+  cell_index.clear();
+  cell_index.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cell_index[cell_key(cells[i].algo, cells[i].log2_n)] = i;
+  }
+}
 
 void write_ratio_csv(const RatioExperimentResult& result,
                      const std::string& path) {
@@ -93,15 +149,21 @@ RatioExperimentResult run_ratio_experiment(
   if (config.trials < 1) {
     throw std::invalid_argument("run_ratio_experiment: trials must be >= 1");
   }
+  for (const std::int32_t k : config.log2_n) {
+    if (k < 0 || k > 30) {
+      throw std::invalid_argument("run_ratio_experiment: bad log2_n");
+    }
+  }
   RatioExperimentResult result;
   result.config = config;
   const double alpha = config.dist.lower_bound();
 
+  const unsigned threads = detail::resolve_threads(config.threads);
+  std::optional<lbb::runtime::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
   for (const Algo algo : config.algos) {
     for (const std::int32_t k : config.log2_n) {
-      if (k < 0 || k > 30) {
-        throw std::invalid_argument("run_ratio_experiment: bad log2_n");
-      }
       const std::int32_t n = 1 << k;
       std::int32_t trials = config.trials;
       if (config.bisection_budget > 0) {
@@ -115,17 +177,57 @@ RatioExperimentResult run_ratio_experiment(
       cell.log2_n = k;
       cell.trials = trials;
       cell.upper_bound = upper_bound_of(algo, alpha, config.beta, n);
-      for (std::int32_t t = 0; t < trials; ++t) {
-        // Instance seed depends on the trial only: all algorithms and all
-        // N share instances where possible (paired comparison).
-        const std::uint64_t instance_seed =
-            lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
-        cell.ratio.add(
-            ratio_of(algo, instance_seed, config.dist, n, config.beta));
+
+      // Fan the trials out in fixed chunks of kTrialChunk.  Chunking and
+      // the merge order below depend only on `trials`, so the cell is
+      // bit-identical for every thread count.
+      const std::int64_t chunks =
+          (static_cast<std::int64_t>(trials) + kTrialChunk - 1) / kTrialChunk;
+      std::vector<lbb::stats::RunningStats> chunk_ratio(
+          static_cast<std::size_t>(chunks));
+      std::vector<std::int64_t> chunk_bisections(
+          static_cast<std::size_t>(chunks), 0);
+      const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
+                                 std::int64_t hi) {
+        lbb::stats::RunningStats local;
+        std::int64_t bisections = 0;
+        for (std::int64_t t = lo; t < hi; ++t) {
+          // Instance seed depends on the trial only: all algorithms and all
+          // N share instances where possible (paired comparison).
+          const std::uint64_t instance_seed =
+              lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+          const TrialOutcome outcome =
+              run_trial(algo, instance_seed, config.dist, n, config.beta);
+          local.add(outcome.ratio);
+          bisections += outcome.bisections;
+        }
+        chunk_ratio[static_cast<std::size_t>(chunk)] = local;
+        chunk_bisections[static_cast<std::size_t>(chunk)] = bisections;
+      };
+
+      const auto started = std::chrono::steady_clock::now();
+      if (pool) {
+        lbb::runtime::parallel_for_chunks(*pool, 0, trials, kTrialChunk,
+                                          run_chunk);
+      } else {
+        std::int64_t chunk = 0;
+        for (std::int64_t lo = 0; lo < trials; lo += kTrialChunk, ++chunk) {
+          run_chunk(chunk, lo,
+                    std::min<std::int64_t>(lo + kTrialChunk, trials));
+        }
       }
+      // Fixed-order reduction (ascending chunk index).
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        cell.ratio.merge(chunk_ratio[static_cast<std::size_t>(c)]);
+        cell.bisections += chunk_bisections[static_cast<std::size_t>(c)];
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      cell.wall_seconds = elapsed.count();
       result.cells.push_back(std::move(cell));
     }
   }
+  result.rebuild_index();
   return result;
 }
 

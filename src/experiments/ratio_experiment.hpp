@@ -9,10 +9,20 @@
 //
 // All algorithms see the *same* instances (path-hashed randomness), so the
 // comparisons are paired exactly as in the paper.
+//
+// Parallel execution: trials are independent by construction (instance
+// seeds are path-hashed from (config.seed, trial index)), so the engine
+// fans them out over a thread pool in FIXED chunks of kTrialChunk trials
+// and combines per-chunk statistics with RunningStats::merge in ascending
+// chunk order.  Chunk boundaries and reduction order depend only on the
+// trial count -- never on the thread count -- so the resulting cells (and
+// any CSV written from them) are BYTE-IDENTICAL for every `threads`
+// setting, including the sequential threads = 1 path.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "problems/alpha_dist.hpp"
@@ -30,6 +40,17 @@ enum class Algo {
 
 [[nodiscard]] const char* algo_name(Algo algo);
 
+namespace detail {
+/// Maps a config's `threads` knob to a worker count: 1 = sequential,
+/// 0 = one per hardware thread, k = exactly k.  Throws on negatives.
+[[nodiscard]] unsigned resolve_threads(std::int32_t threads);
+}  // namespace detail
+
+/// Trials per work unit of the parallel engine.  Fixed (independent of the
+/// thread count) so that the chunk-order statistics reduction -- and hence
+/// every reported number -- is bit-stable across thread counts.
+inline constexpr std::int32_t kTrialChunk = 32;
+
 /// Configuration of one ratio experiment.
 struct RatioExperimentConfig {
   lbb::problems::AlphaDistribution dist =
@@ -46,6 +67,10 @@ struct RatioExperimentConfig {
   std::int64_t bisection_budget = 0;
   /// Floor for the reduced trial count when bisection_budget is active.
   std::int32_t min_trials = 25;
+  /// Worker threads for trial execution: 1 = sequential (default),
+  /// 0 = one per hardware thread, k = exactly k.  Results are identical
+  /// for every value -- see the determinism note at the top of this file.
+  std::int32_t threads = 1;
 };
 
 /// Observed statistics of one (algorithm, N) cell.
@@ -55,18 +80,30 @@ struct RatioCell {
   std::int32_t trials = 0;
   double upper_bound = 0.0;  ///< worst-case ratio from the theorems
   lbb::stats::RunningStats ratio;
+  // Performance accounting (bench/perf_report); not part of the CSV.
+  double wall_seconds = 0.0;    ///< wall-clock spent computing this cell
+  std::int64_t bisections = 0;  ///< total bisections over all trials
 };
 
 /// Result of a full experiment (cells in algos-major, log2_n-minor order).
 struct RatioExperimentResult {
   RatioExperimentConfig config;
   std::vector<RatioCell> cells;
+  /// (algo, log2_n) -> index into `cells`; kept by run_ratio_experiment so
+  /// cell() is O(1).  Call rebuild_index() after editing `cells` by hand.
+  std::unordered_map<std::uint64_t, std::size_t> cell_index;
 
-  /// The cell for (algo, log2_n); throws if absent.
+  /// The cell for (algo, log2_n); throws std::out_of_range if absent.
+  /// O(1) via cell_index when it is populated; falls back to a linear scan
+  /// on hand-assembled results.
   [[nodiscard]] const RatioCell& cell(Algo algo, std::int32_t log2_n) const;
+
+  /// Rebuilds cell_index from `cells`.
+  void rebuild_index();
 };
 
-/// Runs the experiment.  Deterministic in `config.seed`.
+/// Runs the experiment.  Deterministic in `config.seed`: for any
+/// `config.threads` the result (and CSV serialization) is byte-identical.
 [[nodiscard]] RatioExperimentResult run_ratio_experiment(
     const RatioExperimentConfig& config);
 

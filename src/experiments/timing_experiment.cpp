@@ -1,8 +1,13 @@
 #include "experiments/timing_experiment.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "experiments/ratio_experiment.hpp"
 #include "problems/synthetic.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/par_ba.hpp"
 #include "stats/rng.hpp"
 
@@ -28,12 +33,80 @@ const char* par_algo_name(ParAlgo algo) {
   return "?";
 }
 
+namespace {
+
+constexpr std::uint64_t timing_cell_key(ParAlgo algo, std::int32_t log2_n) {
+  return (static_cast<std::uint64_t>(algo) << 32) |
+         static_cast<std::uint32_t>(log2_n);
+}
+
+lbb::sim::SimMetrics simulate_trial(ParAlgo algo, std::uint64_t instance_seed,
+                                    const TimingExperimentConfig& config,
+                                    double alpha, std::int32_t n) {
+  SyntheticProblem root(instance_seed, config.dist);
+  lbb::sim::SimMetrics metrics;
+  switch (algo) {
+    case ParAlgo::kPHFOracle: {
+      lbb::sim::PhfSimOptions opt;
+      opt.manager = lbb::sim::FreeProcManager::kOracle;
+      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
+    }
+    case ParAlgo::kPHFBaPrime: {
+      lbb::sim::PhfSimOptions opt;
+      opt.manager = lbb::sim::FreeProcManager::kBaPrime;
+      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
+    }
+    case ParAlgo::kPHFProbe: {
+      lbb::sim::PhfSimOptions opt;
+      opt.manager = lbb::sim::FreeProcManager::kRandomProbe;
+      opt.probe_seed = instance_seed;
+      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
+    }
+    case ParAlgo::kBA:
+      return lbb::sim::ba_simulate(root, n, config.cost).metrics;
+    case ParAlgo::kBAHF:
+      return lbb::sim::ba_hf_simulate(root, n, alpha, config.beta, config.cost)
+          .metrics;
+    case ParAlgo::kSeqHF:
+      metrics.makespan = sequential_hf_time(n, config.cost);
+      metrics.messages = n - 1;
+      metrics.collective_ops = 0;
+      return metrics;
+  }
+  throw std::invalid_argument("simulate_trial: bad algorithm");
+}
+
+/// Per-chunk accumulator mirroring TimingCell's statistics fields.
+struct ChunkStats {
+  lbb::stats::RunningStats makespan;
+  lbb::stats::RunningStats messages;
+  lbb::stats::RunningStats collective_ops;
+  lbb::stats::RunningStats phase2_iterations;
+};
+
+}  // namespace
+
 const TimingCell& TimingExperimentResult::cell(ParAlgo algo,
                                                std::int32_t log2_n) const {
+  if (!cell_index.empty()) {
+    const auto it = cell_index.find(timing_cell_key(algo, log2_n));
+    if (it == cell_index.end()) {
+      throw std::out_of_range("TimingExperimentResult::cell: no such cell");
+    }
+    return cells[it->second];
+  }
   for (const TimingCell& c : cells) {
     if (c.algo == algo && c.log2_n == log2_n) return c;
   }
   throw std::out_of_range("TimingExperimentResult::cell: no such cell");
+}
+
+void TimingExperimentResult::rebuild_index() {
+  cell_index.clear();
+  cell_index.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cell_index[timing_cell_key(cells[i].algo, cells[i].log2_n)] = i;
+  }
 }
 
 double sequential_hf_time(std::int32_t n, const lbb::sim::CostModel& cost) {
@@ -47,63 +120,61 @@ TimingExperimentResult run_timing_experiment(
   result.config = config;
   const double alpha = config.dist.lower_bound();
 
+  const unsigned threads = detail::resolve_threads(config.threads);
+  std::optional<lbb::runtime::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
   for (const ParAlgo algo : config.algos) {
     for (const std::int32_t k : config.log2_n) {
       const std::int32_t n = 1 << k;
       TimingCell cell;
       cell.algo = algo;
       cell.log2_n = k;
-      for (std::int32_t t = 0; t < config.trials; ++t) {
-        const std::uint64_t instance_seed =
-            lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
-        SyntheticProblem root(instance_seed, config.dist);
-        lbb::sim::SimMetrics metrics;
-        switch (algo) {
-          case ParAlgo::kPHFOracle: {
-            lbb::sim::PhfSimOptions opt;
-            opt.manager = lbb::sim::FreeProcManager::kOracle;
-            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
-                          .metrics;
-            break;
-          }
-          case ParAlgo::kPHFBaPrime: {
-            lbb::sim::PhfSimOptions opt;
-            opt.manager = lbb::sim::FreeProcManager::kBaPrime;
-            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
-                          .metrics;
-            break;
-          }
-          case ParAlgo::kPHFProbe: {
-            lbb::sim::PhfSimOptions opt;
-            opt.manager = lbb::sim::FreeProcManager::kRandomProbe;
-            opt.probe_seed = instance_seed;
-            metrics = lbb::sim::phf_simulate(root, n, alpha, config.cost, opt)
-                          .metrics;
-            break;
-          }
-          case ParAlgo::kBA:
-            metrics = lbb::sim::ba_simulate(root, n, config.cost).metrics;
-            break;
-          case ParAlgo::kBAHF:
-            metrics = lbb::sim::ba_hf_simulate(root, n, alpha, config.beta,
-                                               config.cost)
-                          .metrics;
-            break;
-          case ParAlgo::kSeqHF:
-            metrics.makespan = sequential_hf_time(n, config.cost);
-            metrics.messages = n - 1;
-            metrics.collective_ops = 0;
-            break;
+
+      const std::int64_t trials = config.trials;
+      const std::int64_t chunks = (trials + kTrialChunk - 1) / kTrialChunk;
+      std::vector<ChunkStats> chunk_stats(
+          static_cast<std::size_t>(std::max<std::int64_t>(chunks, 0)));
+      const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
+                                 std::int64_t hi) {
+        ChunkStats local;
+        for (std::int64_t t = lo; t < hi; ++t) {
+          const std::uint64_t instance_seed =
+              lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+          const lbb::sim::SimMetrics metrics =
+              simulate_trial(algo, instance_seed, config, alpha, n);
+          local.makespan.add(metrics.makespan);
+          local.messages.add(static_cast<double>(metrics.messages));
+          local.collective_ops.add(
+              static_cast<double>(metrics.collective_ops));
+          local.phase2_iterations.add(
+              static_cast<double>(metrics.phase2_iterations));
         }
-        cell.makespan.add(metrics.makespan);
-        cell.messages.add(static_cast<double>(metrics.messages));
-        cell.collective_ops.add(static_cast<double>(metrics.collective_ops));
-        cell.phase2_iterations.add(
-            static_cast<double>(metrics.phase2_iterations));
+        chunk_stats[static_cast<std::size_t>(chunk)] = local;
+      };
+
+      if (pool) {
+        lbb::runtime::parallel_for_chunks(*pool, 0, trials, kTrialChunk,
+                                          run_chunk);
+      } else {
+        std::int64_t chunk = 0;
+        for (std::int64_t lo = 0; lo < trials; lo += kTrialChunk, ++chunk) {
+          run_chunk(chunk, lo,
+                    std::min<std::int64_t>(lo + kTrialChunk, trials));
+        }
+      }
+      // Fixed-order reduction (ascending chunk index): bit-stable for
+      // every thread count.
+      for (const ChunkStats& local : chunk_stats) {
+        cell.makespan.merge(local.makespan);
+        cell.messages.merge(local.messages);
+        cell.collective_ops.merge(local.collective_ops);
+        cell.phase2_iterations.merge(local.phase2_iterations);
       }
       result.cells.push_back(std::move(cell));
     }
   }
+  result.rebuild_index();
   return result;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "problems/alpha_dist.hpp"
@@ -38,6 +39,11 @@ struct TimingExperimentConfig {
   std::vector<ParAlgo> algos = {ParAlgo::kPHFOracle, ParAlgo::kPHFBaPrime,
                                 ParAlgo::kPHFProbe, ParAlgo::kBA,
                                 ParAlgo::kBAHF, ParAlgo::kSeqHF};
+  /// Worker threads for trial execution: 1 = sequential (default),
+  /// 0 = one per hardware thread, k = exactly k.  As in the ratio
+  /// experiment, trials run in fixed chunks and their statistics merge in
+  /// chunk order, so results are identical for every thread count.
+  std::int32_t threads = 1;
 };
 
 /// Per-(algo, N) aggregated metrics.
@@ -53,9 +59,16 @@ struct TimingCell {
 struct TimingExperimentResult {
   TimingExperimentConfig config;
   std::vector<TimingCell> cells;
+  /// (algo, log2_n) -> index into `cells`; kept by run_timing_experiment so
+  /// cell() is O(1).  Call rebuild_index() after editing `cells` by hand.
+  std::unordered_map<std::uint64_t, std::size_t> cell_index;
 
+  /// O(1) via cell_index when populated; linear-scan fallback otherwise.
   [[nodiscard]] const TimingCell& cell(ParAlgo algo,
                                        std::int32_t log2_n) const;
+
+  /// Rebuilds cell_index from `cells`.
+  void rebuild_index();
 };
 
 /// Simulated time of sequential HF distributing N pieces from P_1: N-1

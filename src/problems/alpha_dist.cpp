@@ -1,9 +1,27 @@
 #include "problems/alpha_dist.hpp"
 
 #include <iomanip>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 namespace lbb::problems {
+
+const AlphaDistribution* AlphaDistribution::interned() const {
+  // Append-only pool: distinct distributions per process are few (one per
+  // configured experiment), so a linear scan under a mutex is cheaper than
+  // a hash map and keeps every returned pointer stable forever.
+  static std::mutex mutex;
+  static std::vector<std::unique_ptr<const AlphaDistribution>> pool;
+  std::scoped_lock lock(mutex);
+  for (const auto& d : pool) {
+    if (*d == *this) return d.get();
+  }
+  pool.push_back(
+      std::unique_ptr<const AlphaDistribution>(new AlphaDistribution(*this)));
+  return pool.back().get();
+}
 
 std::string AlphaDistribution::describe() const {
   std::ostringstream ss;

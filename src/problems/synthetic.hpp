@@ -20,14 +20,17 @@
 
 namespace lbb::problems {
 
-/// One subproblem of the synthetic stochastic model.  Cheap value type:
-/// copying is allowed and has no hidden state.
+/// One subproblem of the synthetic stochastic model.  Cheap, trivially
+/// copyable value type (24 bytes): the distribution lives once in a
+/// process-lifetime intern pool (AlphaDistribution::interned) and every
+/// node of the virtual tree shares it by pointer, so bisecting does not
+/// copy distribution state into each child.
 class SyntheticProblem {
  public:
   /// Root problem of a fresh instance.
   SyntheticProblem(std::uint64_t seed, const AlphaDistribution& dist,
                    double weight = 1.0)
-      : dist_(dist),
+      : dist_(dist.interned()),
         node_hash_(lbb::stats::splitmix64(seed ^ 0x5bf03635d1d4f7a1ULL)),
         weight_(weight) {}
 
@@ -37,17 +40,17 @@ class SyntheticProblem {
   [[nodiscard]] std::pair<SyntheticProblem, SyntheticProblem> bisect() const {
     const double u =
         lbb::stats::hash_to_unit(lbb::stats::splitmix64(node_hash_));
-    const double alpha_hat = dist_.sample(u);
-    SyntheticProblem heavy(*this, lbb::stats::mix64(node_hash_, 1),
+    const double alpha_hat = dist_->sample(u);
+    SyntheticProblem heavy(dist_, lbb::stats::mix64(node_hash_, 1),
                            (1.0 - alpha_hat) * weight_);
-    SyntheticProblem light(*this, lbb::stats::mix64(node_hash_, 2),
+    SyntheticProblem light(dist_, lbb::stats::mix64(node_hash_, 2),
                            alpha_hat * weight_);
-    return {std::move(heavy), std::move(light)};
+    return {heavy, light};
   }
 
   /// The alpha-hat this node will use when bisected (deterministic).
   [[nodiscard]] double peek_alpha_hat() const {
-    return dist_.sample(
+    return dist_->sample(
         lbb::stats::hash_to_unit(lbb::stats::splitmix64(node_hash_)));
   }
 
@@ -55,17 +58,20 @@ class SyntheticProblem {
   [[nodiscard]] std::uint64_t node_hash() const noexcept { return node_hash_; }
 
   [[nodiscard]] const AlphaDistribution& distribution() const noexcept {
-    return dist_;
+    return *dist_;
   }
 
  private:
-  SyntheticProblem(const SyntheticProblem& parent, std::uint64_t node_hash,
+  SyntheticProblem(const AlphaDistribution* dist, std::uint64_t node_hash,
                    double weight)
-      : dist_(parent.dist_), node_hash_(node_hash), weight_(weight) {}
+      : dist_(dist), node_hash_(node_hash), weight_(weight) {}
 
-  AlphaDistribution dist_;
+  const AlphaDistribution* dist_;  ///< interned; never dangles
   std::uint64_t node_hash_;
   double weight_;
 };
+
+static_assert(sizeof(SyntheticProblem) == 24,
+              "SyntheticProblem should stay a 3-word value type");
 
 }  // namespace lbb::problems

@@ -1,0 +1,70 @@
+// Chunked parallel loops on a ThreadPool.
+//
+// parallel_for splits an index range into fixed-size chunks and runs each
+// chunk as one pool task, blocking until all chunks finish.  The chunk
+// boundaries depend only on (begin, end, chunk) -- NOT on the pool's thread
+// count -- so callers that reduce per-chunk results in chunk order obtain
+// results that are bit-identical for every thread count (the experiment
+// engine relies on this; see src/experiments/ratio_experiment.cpp).
+//
+// Exception semantics: every chunk runs to completion or failure; if any
+// chunk throws, the exception of the LOWEST-indexed failing chunk is
+// rethrown on the calling thread after all chunks have finished
+// (deterministic choice, unlike first-to-fail timing races).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace lbb::runtime {
+
+/// Calls fn(chunk_index, lo, hi) for every chunk [lo, hi) of the index
+/// range [begin, end), chunked by `chunk`, concurrently on `pool`.
+/// Blocks until all chunks are done.
+template <typename ChunkFn>
+void parallel_for_chunks(ThreadPool& pool, std::int64_t begin,
+                         std::int64_t end, std::int64_t chunk, ChunkFn fn) {
+  if (chunk <= 0) {
+    throw std::invalid_argument("parallel_for: chunk must be >= 1");
+  }
+  if (begin >= end) return;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>((end - begin + chunk - 1) / chunk));
+  std::int64_t index = 0;
+  for (std::int64_t lo = begin; lo < end; lo += chunk, ++index) {
+    const std::int64_t hi = std::min(lo + chunk, end);
+    pending.push_back(
+        pool.submit_task([fn, index, lo, hi] { fn(index, lo, hi); }));
+  }
+  // Harvest in chunk order so the rethrown exception is deterministic.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Calls fn(i) for every i in [begin, end), chunked by `chunk`, concurrently
+/// on `pool`.  Blocks until done; see parallel_for_chunks for exception and
+/// determinism guarantees.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t chunk, Fn fn) {
+  parallel_for_chunks(pool, begin, end, chunk,
+                      [fn](std::int64_t /*chunk_index*/, std::int64_t lo,
+                           std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+}  // namespace lbb::runtime

@@ -48,6 +48,11 @@ void ThreadPool::wait_idle() {
   }
 }
 
+std::size_t ThreadPool::suppressed_exception_count() const {
+  std::scoped_lock lock(mutex_);
+  return suppressed_errors_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -66,7 +71,11 @@ void ThreadPool::worker_loop() {
       task();
     } catch (...) {
       std::scoped_lock lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
+      }
     }
     {
       std::scoped_lock lock(mutex_);

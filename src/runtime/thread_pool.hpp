@@ -1,9 +1,16 @@
 // Minimal fixed-size thread pool (tasks, not threads -- CP.4).
 //
 // Used by the examples to actually *run* the subproblems of a partition on
-// worker threads and measure the realized balance.  RAII: the destructor
-// drains the queue and joins all workers.  Exceptions thrown by tasks are
-// captured and rethrown from wait_idle().
+// worker threads and measure the realized balance, and by the experiment
+// engine (src/experiments) to fan independent Monte-Carlo trials out over
+// workers.  RAII: the destructor drains the queue and joins all workers.
+//
+// Two submission styles:
+//   * submit(fn)       -- fire-and-forget; exceptions are captured by the
+//                         pool and rethrown from wait_idle() (see below).
+//   * submit_task(fn)  -- returns a std::future<R>; the result (or the
+//                         exception) travels through the future and never
+//                         touches the pool's error state.
 #pragma once
 
 #include <condition_variable>
@@ -11,8 +18,12 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace lbb::runtime {
@@ -32,9 +43,34 @@ class ThreadPool {
   /// Enqueues a task.  Thread-safe.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.  Rethrows
-  /// the first exception raised by any task since the last wait_idle().
+  /// Enqueues a callable and returns a future for its result.  Exceptions
+  /// thrown by `fn` are delivered through the future (std::future::get
+  /// rethrows them); they do NOT count as pool errors and are never
+  /// rethrown from wait_idle().
+  template <typename F>
+  [[nodiscard]] auto submit_task(F fn)
+      -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    submit([task]() mutable { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until the queue is empty and all workers are idle.
+  ///
+  /// Error semantics for submit() (fire-and-forget) tasks: the pool stores
+  /// the FIRST exception raised since the last wait_idle() and rethrows it
+  /// here; any FURTHER exceptions in that window are suppressed (the tasks
+  /// still complete) and only counted -- see suppressed_exception_count().
+  /// Tasks submitted via submit_task() report through their future instead
+  /// and never appear here.
   void wait_idle();
+
+  /// Total number of fire-and-forget task exceptions that were swallowed
+  /// because another exception was already pending (cumulative over the
+  /// pool's lifetime; never reset).  Thread-safe.
+  [[nodiscard]] std::size_t suppressed_exception_count() const;
 
   [[nodiscard]] unsigned size() const noexcept { return threads_; }
 
@@ -42,13 +78,14 @@ class ThreadPool {
   void worker_loop();
 
   unsigned threads_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;
   std::vector<std::thread> workers_;
 };
 

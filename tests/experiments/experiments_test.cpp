@@ -146,3 +146,127 @@ TEST(TimingExperiment, ProbeManagerAtLeastAsSlowAsOracle) {
 
 }  // namespace
 }  // namespace lbb::experiments
+
+// Appended: determinism of the parallel trial engine across thread counts.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace lbb::experiments {
+namespace {
+
+RatioExperimentConfig threaded_config(std::int32_t threads) {
+  RatioExperimentConfig c;
+  c.dist = lbb::problems::AlphaDistribution::uniform(0.1, 0.5);
+  c.log2_n = {5, 8, 10};
+  c.trials = 70;  // spans multiple kTrialChunk chunks plus a partial one
+  c.seed = 17;
+  c.threads = threads;
+  return c;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(RatioExperimentParallel, CellStatsBitIdenticalAcrossThreadCounts) {
+  const auto base = run_ratio_experiment(threaded_config(1));
+  for (const std::int32_t threads : {2, 8}) {
+    const auto result = run_ratio_experiment(threaded_config(threads));
+    ASSERT_EQ(result.cells.size(), base.cells.size()) << threads;
+    for (std::size_t i = 0; i < base.cells.size(); ++i) {
+      const auto& want = base.cells[i];
+      const auto& got = result.cells[i];
+      EXPECT_EQ(got.algo, want.algo);
+      EXPECT_EQ(got.log2_n, want.log2_n);
+      EXPECT_EQ(got.trials, want.trials);
+      EXPECT_EQ(got.bisections, want.bisections);
+      // Exact (==) comparisons: the contract is bit-identical, not "close".
+      EXPECT_EQ(got.ratio.count(), want.ratio.count());
+      EXPECT_EQ(got.ratio.mean(), want.ratio.mean());
+      EXPECT_EQ(got.ratio.variance(), want.ratio.variance());
+      EXPECT_EQ(got.ratio.min(), want.ratio.min());
+      EXPECT_EQ(got.ratio.max(), want.ratio.max());
+    }
+  }
+}
+
+TEST(RatioExperimentParallel, CsvBytesIdenticalAcrossThreadCounts) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path1 = dir + "/lbb_ratio_t1.csv";
+  const std::string path8 = dir + "/lbb_ratio_t8.csv";
+  write_ratio_csv(run_ratio_experiment(threaded_config(1)), path1);
+  write_ratio_csv(run_ratio_experiment(threaded_config(8)), path8);
+  const std::string bytes1 = slurp(path1);
+  const std::string bytes8 = slurp(path8);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes8);
+  std::remove(path1.c_str());
+  std::remove(path8.c_str());
+}
+
+TEST(RatioExperimentParallel, HardwareThreadsKnobAccepted) {
+  auto config = threaded_config(0);  // 0 = one worker per hardware thread
+  config.log2_n = {5};
+  config.trials = 40;
+  const auto result = run_ratio_experiment(config);
+  const auto base = run_ratio_experiment([] {
+    auto c = threaded_config(1);
+    c.log2_n = {5};
+    c.trials = 40;
+    return c;
+  }());
+  EXPECT_EQ(result.cell(Algo::kHF, 5).ratio.mean(),
+            base.cell(Algo::kHF, 5).ratio.mean());
+  EXPECT_THROW(run_ratio_experiment(threaded_config(-2)),
+               std::invalid_argument);
+}
+
+TEST(RatioExperimentParallel, PerfCountersPopulated) {
+  const auto result = run_ratio_experiment(threaded_config(2));
+  for (const auto& cell : result.cells) {
+    // BA, BA-HF and HF perform exactly 2^k - 1 bisections per trial; BA'
+    // prunes at the HF phase-1 threshold, so it may stop earlier.
+    const std::int64_t full =
+        static_cast<std::int64_t>(cell.trials) *
+        ((std::int64_t{1} << cell.log2_n) - 1);
+    if (cell.algo == Algo::kBAStar) {
+      EXPECT_GT(cell.bisections, 0);
+      EXPECT_LE(cell.bisections, full);
+    } else {
+      EXPECT_EQ(cell.bisections, full)
+          << algo_name(cell.algo) << " logN=" << cell.log2_n;
+    }
+    EXPECT_GE(cell.wall_seconds, 0.0);
+  }
+}
+
+TEST(TimingExperimentParallel, CellStatsBitIdenticalAcrossThreadCounts) {
+  TimingExperimentConfig base_config;
+  base_config.log2_n = {6, 10};
+  base_config.trials = 40;
+  base_config.threads = 1;
+  const auto base = run_timing_experiment(base_config);
+  for (const std::int32_t threads : {2, 8}) {
+    auto config = base_config;
+    config.threads = threads;
+    const auto result = run_timing_experiment(config);
+    ASSERT_EQ(result.cells.size(), base.cells.size());
+    for (std::size_t i = 0; i < base.cells.size(); ++i) {
+      const auto& want = base.cells[i];
+      const auto& got = result.cells[i];
+      EXPECT_EQ(got.makespan.mean(), want.makespan.mean());
+      EXPECT_EQ(got.makespan.variance(), want.makespan.variance());
+      EXPECT_EQ(got.messages.mean(), want.messages.mean());
+      EXPECT_EQ(got.collective_ops.mean(), want.collective_ops.mean());
+      EXPECT_EQ(got.phase2_iterations.max(), want.phase2_iterations.max());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbb::experiments

@@ -201,3 +201,126 @@ TEST(ParallelBa, RejectsBadN) {
 
 }  // namespace
 }  // namespace lbb::runtime
+
+// Appended: result-returning submission and the chunked parallel-for that
+// back the parallel experiment engine.
+#include <algorithm>
+#include <array>
+#include <future>
+#include <mutex>
+#include <string>
+
+#include "runtime/parallel_for.hpp"
+
+namespace lbb::runtime {
+namespace {
+
+TEST(SubmitTask, ReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit_task([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+  auto g = pool.submit_task([] { return std::string("ok"); });
+  EXPECT_EQ(g.get(), "ok");
+}
+
+TEST(SubmitTask, ExceptionGoesToFutureNotPool) {
+  ThreadPool pool(2);
+  auto f = pool.submit_task([]() -> int {
+    throw std::runtime_error("through the future");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool's own error channel must stay clean: a submit_task failure is
+  // owned by whoever holds the future.
+  pool.wait_idle();
+  EXPECT_EQ(pool.suppressed_exception_count(), 0u);
+}
+
+TEST(SubmitTask, ManyFuturesAllResolve) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit_task([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SuppressedExceptionCountAccumulates) {
+  ThreadPool pool(1);  // single worker: deterministic execution order
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);  // first rethrown...
+  EXPECT_EQ(pool.suppressed_exception_count(), 2u);    // ...rest counted
+  pool.submit([] { throw std::runtime_error("later"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.suppressed_exception_count(), 2u);  // cumulative, not reset
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(103);
+  parallel_for(pool, 0, 103, 7,
+               [&hits](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunks, ChunkBoundariesAreFixed) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::array<std::int64_t, 3>> seen;
+  parallel_for_chunks(pool, 0, 10, 4,
+                      [&](std::int64_t chunk, std::int64_t lo,
+                          std::int64_t hi) {
+                        std::scoped_lock lock(mu);
+                        seen.push_back({chunk, lo, hi});
+                      });
+  std::sort(seen.begin(), seen.end());
+  const std::vector<std::array<std::int64_t, 3>> want = {
+      {0, 0, 4}, {1, 4, 8}, {2, 8, 10}};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ParallelForChunks, PropagatesLowestChunkException) {
+  ThreadPool pool(4);
+  // Chunks 2 and 5 fail; the harvest walks futures in chunk order, so the
+  // caller must observe chunk 2's exception deterministically.
+  try {
+    parallel_for_chunks(pool, 0, 80, 10,
+                        [](std::int64_t chunk, std::int64_t, std::int64_t) {
+                          if (chunk == 2 || chunk == 5) {
+                            throw std::runtime_error(
+                                "chunk " + std::to_string(chunk));
+                          }
+                        });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+  // The pool survives for further use.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 5, 2, [&counter](std::int64_t) { counter++; });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ParallelForChunks, EmptyAndBadRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunks(pool, 5, 5, 4,
+                      [&calls](std::int64_t, std::int64_t, std::int64_t) {
+                        ++calls;
+                      });
+  parallel_for_chunks(pool, 9, 2, 4,
+                      [&calls](std::int64_t, std::int64_t, std::int64_t) {
+                        ++calls;
+                      });
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(
+      parallel_for_chunks(pool, 0, 10, 0,
+                          [](std::int64_t, std::int64_t, std::int64_t) {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbb::runtime

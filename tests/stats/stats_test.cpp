@@ -123,6 +123,58 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(c.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeOfSingletonsMatchesAdds) {
+  // Merging n one-element summaries is the degenerate chunking (chunk = 1)
+  // of the parallel engine; it must agree with plain sequential adds.
+  const std::vector<double> xs = {2.5, -1.0, 0.0, 7.25, 3.5, 3.5};
+  RunningStats sequential;
+  RunningStats merged;
+  for (const double x : xs) {
+    sequential.add(x);
+    RunningStats one;
+    one.add(x);
+    merged.merge(one);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), sequential.mean());
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeIsAssociativeAgainstOneShotWelford) {
+  // (a + b) + c and a + (b + c) must both reproduce the one-shot Welford
+  // pass over the concatenation -- this is what makes the fixed-order
+  // chunk reduction of the experiment engine well-defined.
+  Xoshiro256 rng(321);
+  std::vector<double> xs(301);
+  for (auto& x : xs) x = rng.uniform(-5.0, 5.0);
+
+  RunningStats one_shot;
+  RunningStats a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    one_shot.add(xs[i]);
+    (i < 100 ? a : i < 200 ? b : c).add(xs[i]);
+  }
+  RunningStats left = a;
+  left.merge(b);
+  left.merge(c);
+  RunningStats bc = b;
+  bc.merge(c);
+  RunningStats right = a;
+  right.merge(bc);
+
+  for (const RunningStats* s : {&left, &right}) {
+    EXPECT_EQ(s->count(), one_shot.count());
+    EXPECT_NEAR(s->mean(), one_shot.mean(), 1e-12);
+    EXPECT_NEAR(s->variance(), one_shot.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(s->min(), one_shot.min());
+    EXPECT_DOUBLE_EQ(s->max(), one_shot.max());
+  }
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-14);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-12);
+}
+
 TEST(Quantile, Basics) {
   const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);

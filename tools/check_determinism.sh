@@ -1,0 +1,45 @@
+#!/bin/sh
+# Thread-count determinism gate for the parallel experiment engine.
+#
+# Runs table1_ratios on a small grid at --threads=1, 2 and 8 and requires
+# the CSVs to be byte-identical, then smoke-checks that perf_report emits a
+# well-formed BENCH_ratio_experiment.json.  Pure output comparison -- no
+# wall-clock assertions, so it is safe on loaded or single-core CI runners.
+#
+# Usage: check_determinism.sh <table1_ratios-binary> <perf_report-binary>
+set -eu
+
+TABLE1=${1:?usage: check_determinism.sh <table1_ratios> <perf_report>}
+PERF=${2:?usage: check_determinism.sh <table1_ratios> <perf_report>}
+
+TMPDIR_DET=$(mktemp -d "${TMPDIR:-/tmp}/lbb_determinism.XXXXXX")
+trap 'rm -rf "$TMPDIR_DET"' EXIT
+
+ARGS="--trials=48 --budget=1048576 --seed=9"
+
+echo "== CSV determinism: table1_ratios $ARGS at threads=1,2,8 =="
+for t in 1 2 8; do
+  "$TABLE1" $ARGS --threads=$t --csv="$TMPDIR_DET/t$t.csv" > /dev/null
+done
+for t in 2 8; do
+  if ! cmp -s "$TMPDIR_DET/t1.csv" "$TMPDIR_DET/t$t.csv"; then
+    echo "FAIL: CSV at --threads=$t differs from --threads=1" >&2
+    diff "$TMPDIR_DET/t1.csv" "$TMPDIR_DET/t$t.csv" >&2 || true
+    exit 1
+  fi
+  echo "ok: threads=$t CSV byte-identical to threads=1"
+done
+
+echo "== perf_report smoke =="
+REPORT="$TMPDIR_DET/BENCH_ratio_experiment.json"
+"$PERF" --trials=16 --threads=2 --out="$REPORT" > /dev/null
+for key in '"benchmark": "ratio_experiment"' '"threads": 2' \
+           '"wall_seconds"' '"bisections_per_sec"' '"algo"'; do
+  if ! grep -q "$key" "$REPORT"; then
+    echo "FAIL: perf_report output missing $key" >&2
+    exit 1
+  fi
+done
+echo "ok: perf report contains wall time, throughput and thread count"
+
+echo "PASS: determinism + perf report checks"
