@@ -1,0 +1,187 @@
+// Invariant checking for the simulated parallel machine.
+//
+// MachineChecker validates two views of a simulated run:
+//
+//   * machine state -- every live subproblem (slot) is hosted by exactly
+//     one busy processor, no processor hosts two slots, and the free
+//     counter agrees with the busy flags;
+//   * the event trace -- timestamps are finite and non-negative, each
+//     processor's *compute* timeline (bisections and receives) never runs
+//     backwards, machine-wide events are globally ordered, and messages
+//     are conserved: per (sender, receiver, payload) key, the number of
+//     sends equals delivered receives plus recorded in-flight drops.
+//
+// Checks are cheap (linear in state / trace size) but not free, so the
+// simulators run them only when PhfSimOptions::check_invariants is set;
+// the default follows the build type (on unless NDEBUG).  Tests force them
+// on explicitly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace lbb::sim {
+
+/// Default for PhfSimOptions::check_invariants: on in debug/test builds.
+#ifdef NDEBUG
+inline constexpr bool kMachineCheckDefault = false;
+#else
+inline constexpr bool kMachineCheckDefault = true;
+#endif
+
+/// Outcome of one invariant check.
+struct CheckResult {
+  bool ok = true;
+  std::string issue;  ///< empty iff ok
+
+  [[nodiscard]] static CheckResult good() { return {}; }
+  [[nodiscard]] static CheckResult bad(std::string why) {
+    return CheckResult{false, std::move(why)};
+  }
+};
+
+/// Stateless invariant checks over machine state and traces.
+class MachineChecker {
+ public:
+  /// Validates processor bookkeeping: `slot_proc[i]` hosts slot i.
+  [[nodiscard]] static CheckResult check_state(
+      std::int32_t n, const std::vector<char>& busy,
+      const std::vector<std::int32_t>& slot_proc, std::int32_t free_procs) {
+    if (busy.size() != static_cast<std::size_t>(n)) {
+      return CheckResult::bad("busy[] size != machine size");
+    }
+    std::vector<char> hosts(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < slot_proc.size(); ++i) {
+      const std::int32_t p = slot_proc[i];
+      if (p < 0 || p >= n) {
+        return CheckResult::bad("slot " + std::to_string(i) +
+                                " hosted by out-of-range processor " +
+                                std::to_string(p));
+      }
+      if (hosts[static_cast<std::size_t>(p)]) {
+        return CheckResult::bad("processor " + std::to_string(p) +
+                                " hosts two slots");
+      }
+      hosts[static_cast<std::size_t>(p)] = 1;
+      if (!busy[static_cast<std::size_t>(p)]) {
+        return CheckResult::bad("slot " + std::to_string(i) +
+                                " hosted by idle processor " +
+                                std::to_string(p));
+      }
+    }
+    std::int32_t busy_count = 0;
+    for (std::int32_t p = 0; p < n; ++p) {
+      if (!busy[static_cast<std::size_t>(p)]) continue;
+      ++busy_count;
+      if (!hosts[static_cast<std::size_t>(p)]) {
+        return CheckResult::bad("processor " + std::to_string(p) +
+                                " busy but hosts no slot");
+      }
+    }
+    if (free_procs != n - busy_count) {
+      return CheckResult::bad(
+          "free_procs (" + std::to_string(free_procs) +
+          ") inconsistent with busy flags (" +
+          std::to_string(n - busy_count) + " free)");
+    }
+    return CheckResult::good();
+  }
+
+  /// Validates an event trace (see the file comment for the invariants).
+  [[nodiscard]] static CheckResult check_trace(const Trace& trace) {
+    // Per-key message conservation: sends == receives + drops.
+    // Key: (sender, receiver, payload value).  Send/drop records live on
+    // the sender with aux = receiver; receives on the receiver with
+    // aux = sender.
+    struct Tally {
+      std::int64_t sends = 0;
+      std::int64_t receives = 0;
+      std::int64_t drops = 0;
+    };
+    std::map<std::tuple<std::int64_t, std::int64_t, double>, Tally> tallies;
+    std::map<std::int32_t, double> last_compute;  ///< proc -> last B/r time
+    double last_global = 0.0;
+
+    for (std::size_t i = 0; i < trace.records().size(); ++i) {
+      const TraceRecord& r = trace.records()[i];
+      if (!std::isfinite(r.time) || r.time < 0.0) {
+        return CheckResult::bad("record " + std::to_string(i) +
+                                " has invalid timestamp " +
+                                std::to_string(r.time));
+      }
+      if (r.processor < 0) {
+        // Machine-wide events (collectives, phase markers) are recorded in
+        // global time order.
+        if (r.time < last_global) {
+          return CheckResult::bad("machine-wide event at t=" +
+                                  std::to_string(r.time) +
+                                  " recorded after t=" +
+                                  std::to_string(last_global));
+        }
+        last_global = r.time;
+        continue;
+      }
+      switch (r.event) {
+        case TraceEvent::kBisect:
+        case TraceEvent::kReceive: {
+          // A processor's compute timeline is serial: bisections and
+          // arrivals never run backwards.  (Send/drop/retry records model
+          // the asynchronous communication engine and may interleave.)
+          auto [it, inserted] = last_compute.try_emplace(r.processor, r.time);
+          if (!inserted) {
+            if (r.time < it->second) {
+              return CheckResult::bad(
+                  "processor " + std::to_string(r.processor) +
+                  " compute time runs backwards: " + std::to_string(r.time) +
+                  " after " + std::to_string(it->second));
+            }
+            it->second = r.time;
+          }
+          if (r.event == TraceEvent::kReceive) {
+            ++tallies[{r.aux, r.processor, r.value}].receives;
+          }
+          break;
+        }
+        case TraceEvent::kSend:
+          ++tallies[{r.processor, r.aux, r.value}].sends;
+          break;
+        case TraceEvent::kDrop:
+          ++tallies[{r.processor, r.aux, r.value}].drops;
+          break;
+        case TraceEvent::kRetry:
+        case TraceEvent::kCollective:
+        case TraceEvent::kPhase:
+          break;
+      }
+    }
+    for (const auto& [key, tally] : tallies) {
+      if (tally.sends != tally.receives + tally.drops) {
+        const auto& [from, to, value] = key;
+        return CheckResult::bad(
+            "message conservation violated for " + std::to_string(from) +
+            " -> " + std::to_string(to) + " (w=" + std::to_string(value) +
+            "): " + std::to_string(tally.sends) + " sends vs " +
+            std::to_string(tally.receives) + " receives + " +
+            std::to_string(tally.drops) + " drops");
+      }
+    }
+    return CheckResult::good();
+  }
+
+  /// Throws std::logic_error if `result` reports a violation.
+  static void enforce(const CheckResult& result, const char* where) {
+    if (!result.ok) {
+      throw std::logic_error(std::string("MachineChecker(") + where +
+                             "): " + result.issue);
+    }
+  }
+};
+
+}  // namespace lbb::sim

@@ -73,6 +73,15 @@ struct CostModel {
     throw std::logic_error("send_cost: bad topology");
   }
 
+  /// Cost of one probe round trip (request + busy/free answer) between two
+  /// processors -- what the kRandomProbe manager pays per miss, and the
+  /// natural unit for fault-injection timeouts.  Distance-sensitive under
+  /// non-uniform SendTopology, like send_cost.
+  [[nodiscard]] double round_trip_cost(std::int32_t from, std::int32_t to,
+                                       std::int32_t n) const {
+    return 2.0 * send_cost(from, to, n);
+  }
+
   /// Cost of one collective operation (barrier / broadcast / reduce /
   /// count / selection) on n processors.
   [[nodiscard]] double collective_cost(std::int32_t n) const {

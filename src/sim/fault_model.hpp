@@ -1,0 +1,231 @@
+// Fault injection for the simulated parallel machine.
+//
+// The paper's machine model (Section 3) is ideal: every transfer arrives,
+// every processor runs at unit speed, and every probe is answered.  The
+// FaultModel degrades that machine deterministically -- message loss (with
+// bounded re-send after an exponentially backed-off timeout), extra message
+// latency, per-processor slowdown factors, and transient "unresponsive
+// processor" faults against the kRandomProbe free-processor manager.
+//
+// Design invariant: faults change *time and message accounting only*, never
+// the partition.  Three properties make that hold by construction:
+//
+//   1. Lost transfers are always eventually re-sent: the number of losses
+//      per transfer is a bounded geometric draw (capped at max_retries), so
+//      delivery is guaranteed and the bisection set is unchanged.
+//   2. A transiently unresponsive processor answers after a bounded number
+//      of retries of the *same* probe (exponential backoff between
+//      attempts), so the probe RNG stream -- and therefore every placement
+//      decision -- is identical to the fault-free run.
+//   3. The discrete-event scheduler orders events by their *ideal*
+//      (fault-free) timestamps while accumulating faulted "actual" clocks
+//      alongside (see sim/phf.hpp), so fault delays can never reorder the
+//      bisection sequence.
+//
+// All draws come from one seeded xoshiro256** stream consumed in simulation
+// order, which is itself deterministic; two runs with the same FaultConfig
+// produce bit-identical metrics on any thread count.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::sim {
+
+/// Knobs of the injected faults.  All-zero rates (the default) describe the
+/// paper's ideal machine; every rate is a per-event probability in [0, 1].
+struct FaultConfig {
+  /// P[a transfer attempt is lost in flight].  Lost transfers are re-sent
+  /// after a timeout; at most max_retries attempts are lost per transfer.
+  double message_loss_rate = 0.0;
+
+  /// P[a delivered transfer suffers extra latency].
+  double message_delay_rate = 0.0;
+
+  /// Extra latency of a delayed transfer is uniform in [0, max_extra_delay]
+  /// simulated time units.
+  double max_extra_delay = 4.0;
+
+  /// Fraction of processors that run degraded (chosen by a stateless hash
+  /// of (seed, processor) -- the same processors are slow in every run).
+  double slow_proc_fraction = 0.0;
+
+  /// A degraded processor bisects slower by a factor in (1, max_slowdown].
+  double max_slowdown = 4.0;
+
+  /// P[a probed processor is transiently unresponsive].  The prober retries
+  /// the same processor with exponential backoff until it answers; the
+  /// number of silent attempts is capped at max_retries.
+  double unresponsive_rate = 0.0;
+
+  /// First re-send / re-probe timeout; doubles on every further retry.
+  double initial_timeout = 2.0;
+
+  /// Bound on consecutive losses per transfer and on consecutive silent
+  /// probe attempts; keeps every retry loop finite even at rate 1.0.
+  std::int32_t max_retries = 6;
+
+  /// Seed of the fault stream.  Independent of PhfSimOptions::probe_seed.
+  std::uint64_t seed = 1;
+
+  /// True if any fault class is switched on.
+  [[nodiscard]] constexpr bool any() const noexcept {
+    return message_loss_rate > 0.0 || message_delay_rate > 0.0 ||
+           slow_proc_fraction > 0.0 || unresponsive_rate > 0.0;
+  }
+};
+
+/// Faults drawn for one point-to-point transfer.
+struct TransferFaults {
+  std::int32_t losses = 0;    ///< attempts lost before the delivery
+  double timeout_time = 0.0;  ///< total re-send backoff preceding delivery
+  double extra_delay = 0.0;   ///< extra latency of the delivered attempt
+};
+
+/// Faults drawn for one probe of the randomized free-processor manager.
+struct ProbeFaults {
+  std::int32_t retries = 0;   ///< silent attempts before an answer
+  double backoff_time = 0.0;  ///< total backoff spent on the retries
+};
+
+/// Seeded, deterministic fault source.  Default-constructed models are
+/// disabled and never consume randomness, so attaching a zero-rate model is
+/// exactly equivalent to attaching none.
+class FaultModel {
+ public:
+  FaultModel() = default;
+
+  explicit FaultModel(const FaultConfig& config)
+      : config_(config),
+        enabled_(config.any()),
+        rng_(lbb::stats::mix64(config.seed, 0x9e3779b97f4a7c15ULL)) {
+    validate(config);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Deterministic slowdown factor (>= 1) of `processor`: a stateless hash
+  /// of (seed, processor), so the same machine is degraded the same way in
+  /// every run and no stream state is consumed.
+  [[nodiscard]] double slowdown(std::int32_t processor) const noexcept {
+    if (!enabled_ || config_.slow_proc_fraction <= 0.0) return 1.0;
+    const std::uint64_t h = lbb::stats::mix64(
+        config_.seed ^ 0x510cd09eb15ULL, static_cast<std::uint64_t>(processor));
+    if (lbb::stats::hash_to_unit(h) >= config_.slow_proc_fraction) return 1.0;
+    return 1.0 + lbb::stats::hash_to_unit(lbb::stats::splitmix64(h)) *
+                     (config_.max_slowdown - 1.0);
+  }
+
+  /// Time `processor` needs for a bisection of ideal duration `t_bisect`.
+  [[nodiscard]] double bisect_cost(std::int32_t processor,
+                                   double t_bisect) const noexcept {
+    return t_bisect * slowdown(processor);
+  }
+
+  /// Draws the faults of one transfer.  Consumes the stream.
+  [[nodiscard]] TransferFaults on_transfer() {
+    TransferFaults f;
+    if (!enabled_) return f;
+    double timeout = config_.initial_timeout;
+    while (f.losses < config_.max_retries &&
+           rng_.next_double() < config_.message_loss_rate) {
+      ++f.losses;
+      f.timeout_time += timeout;
+      timeout *= 2.0;
+    }
+    if (config_.message_delay_rate > 0.0 &&
+        rng_.next_double() < config_.message_delay_rate) {
+      f.extra_delay = rng_.uniform(0.0, config_.max_extra_delay);
+    }
+    return f;
+  }
+
+  /// Draws the faults of one probe attempt.  Consumes the stream.
+  [[nodiscard]] ProbeFaults on_probe() {
+    ProbeFaults f;
+    if (!enabled_) return f;
+    double timeout = config_.initial_timeout;
+    while (f.retries < config_.max_retries &&
+           rng_.next_double() < config_.unresponsive_rate) {
+      ++f.retries;
+      f.backoff_time += timeout;
+      timeout *= 2.0;
+    }
+    return f;
+  }
+
+  /// Rejects configurations the semantics above cannot honor.
+  static void validate(const FaultConfig& config) {
+    auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+    if (!rate_ok(config.message_loss_rate) ||
+        !rate_ok(config.message_delay_rate) ||
+        !rate_ok(config.slow_proc_fraction) ||
+        !rate_ok(config.unresponsive_rate)) {
+      throw std::invalid_argument("FaultConfig: rates must be in [0, 1]");
+    }
+    if (config.max_extra_delay < 0.0 || config.initial_timeout < 0.0) {
+      throw std::invalid_argument("FaultConfig: negative time knob");
+    }
+    if (config.max_slowdown < 1.0) {
+      throw std::invalid_argument("FaultConfig: max_slowdown must be >= 1");
+    }
+    if (config.max_retries < 1 || config.max_retries > 60) {
+      throw std::invalid_argument(
+          "FaultConfig: max_retries must be in [1, 60]");
+    }
+  }
+
+ private:
+  FaultConfig config_;
+  bool enabled_ = false;
+  lbb::stats::Xoshiro256 rng_;
+};
+
+/// Executes one point-to-point transfer under `fault`: draws loss/delay
+/// faults, updates the metrics (successful delivery counts one message;
+/// losses count as retries), records send/drop/receive trace events, and
+/// returns the actual arrival time at `receiver`.  With a disabled model
+/// this is exactly the ideal machine's `depart + send_cost`.
+inline double faulted_transfer(FaultModel& fault, const CostModel& cost,
+                               std::int32_t n, SimMetrics& m, Trace* trace,
+                               std::int32_t sender, std::int32_t receiver,
+                               double depart, double payload) {
+  const double base = cost.send_cost(sender, receiver, n);
+  double at = depart;
+  double extra_delay = 0.0;
+  if (fault.enabled()) {
+    const TransferFaults tf = fault.on_transfer();
+    if (tf.losses > 0) {
+      m.lost_messages += tf.losses;
+      m.retries += tf.losses;
+      m.backoff_time += tf.timeout_time;
+      double timeout = fault.config().initial_timeout;
+      for (std::int32_t i = 0; i < tf.losses; ++i) {
+        if (trace) {
+          trace->record(at, sender, TraceEvent::kSend, payload, receiver);
+          trace->record(at + timeout, sender, TraceEvent::kDrop, payload,
+                        receiver);
+        }
+        at += timeout;
+        timeout *= 2.0;
+      }
+    }
+    if (tf.extra_delay > 0.0) ++m.delayed_messages;
+    extra_delay = tf.extra_delay;
+  }
+  ++m.messages;
+  const double arrival = at + base + extra_delay;
+  if (trace) {
+    trace->record(at, sender, TraceEvent::kSend, payload, receiver);
+    trace->record(arrival, receiver, TraceEvent::kReceive, payload, sender);
+  }
+  return arrival;
+}
+
+}  // namespace lbb::sim

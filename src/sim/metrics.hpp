@@ -23,6 +23,13 @@ struct SimMetrics {
   std::int32_t phase2_iterations = 0;
   std::int32_t mop_up_iterations = 0;  ///< BA'-manager catch-up rounds
   std::int64_t failed_probes = 0;      ///< random-probe manager misses
+
+  // Fault-injection accounting (zero on the ideal machine; see
+  // sim/fault_model.hpp):
+  std::int64_t retries = 0;           ///< message re-sends + probe retries
+  std::int64_t lost_messages = 0;     ///< transfer attempts lost in flight
+  std::int64_t delayed_messages = 0;  ///< transfers hit by extra latency
+  double backoff_time = 0.0;  ///< total simulated timeout/backoff time
 };
 
 /// JSON for the metrics (tooling export; see core/io.hpp for partitions).
@@ -35,7 +42,11 @@ inline void write_metrics_json(std::ostream& os, const SimMetrics& m) {
      << ",\"phase2_bisections\":" << m.phase2_bisections
      << ",\"phase2_iterations\":" << m.phase2_iterations
      << ",\"mop_up_iterations\":" << m.mop_up_iterations
-     << ",\"failed_probes\":" << m.failed_probes << "}";
+     << ",\"failed_probes\":" << m.failed_probes
+     << ",\"retries\":" << m.retries
+     << ",\"lost_messages\":" << m.lost_messages
+     << ",\"delayed_messages\":" << m.delayed_messages
+     << ",\"backoff_time\":" << m.backoff_time << "}";
 }
 
 [[nodiscard]] inline std::string metrics_json(const SimMetrics& m) {

@@ -12,6 +12,11 @@
 // processors and then partitions the remainder with sequential HF on the
 // owning processor, shipping the resulting pieces to the processors of its
 // range (constant extra time per processor for fixed beta/alpha).
+//
+// All simulators accept a FaultConfig (sim/fault_model.hpp).  BA's
+// recursion order is structural, so injected slowdowns, message loss and
+// delays stretch the critical path and the fault metrics but leave the
+// partition -- and where each piece lands -- untouched.
 #pragma once
 
 #include <algorithm>
@@ -27,9 +32,11 @@
 #include "core/problem.hpp"
 #include "core/split.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/phf.hpp"
 #include "sim/trace.hpp"
+#include "stats/rng.hpp"
 
 namespace lbb::sim {
 
@@ -53,8 +60,10 @@ SimResult<P> ba_like_simulate(P problem, std::int32_t n,
                               const CostModel& cost,
                               const lbb::core::PartitionOptions& popt,
                               std::int32_t switch_threshold,
-                              double prune_below, Trace* trace) {
+                              double prune_below, Trace* trace,
+                              const FaultConfig& faults) {
   if (n < 1) throw std::invalid_argument("ba_simulate: n must be >= 1");
+  FaultModel fault(faults);
   SimResult<P> result;
   lbb::core::Partition<P>& out = result.partition;
   SimMetrics& m = result.metrics;
@@ -94,21 +103,20 @@ SimResult<P> ba_like_simulate(P problem, std::int32_t n,
                                 f.depth, f.node);
       const auto produced =
           static_cast<std::int32_t>(out.pieces.size() - pieces_before);
+      const double step = fault.bisect_cost(f.proc_lo, cost.t_bisect);
       const double bisect_done =
-          f.time + cost.t_bisect * static_cast<double>(produced - 1);
+          f.time + step * static_cast<double>(produced - 1);
       double send_clock = bisect_done;
       for (std::int32_t j = 1; j < produced; ++j) {
-        send_clock += cost.send_cost(f.proc_lo, f.proc_lo + j, n);
-        m.makespan = std::max(m.makespan, send_clock);
         if (trace) {
-          trace->record(f.time + cost.t_bisect * j, f.proc_lo,
-                        TraceEvent::kBisect);
-          trace->record(send_clock, f.proc_lo + j, TraceEvent::kReceive,
-                        0.0, f.proc_lo);
+          trace->record(f.time + step * j, f.proc_lo, TraceEvent::kBisect);
         }
+        // Pipelined sends: each departs when the previous one is done.
+        send_clock = faulted_transfer(fault, cost, n, m, trace, f.proc_lo,
+                                      f.proc_lo + j, send_clock, 0.0);
+        m.makespan = std::max(m.makespan, send_clock);
       }
       m.makespan = std::max(m.makespan, bisect_done);
-      m.messages += produced - 1;
       continue;
     }
 
@@ -121,17 +129,12 @@ SimResult<P> ba_like_simulate(P problem, std::int32_t n,
     }
     const auto [node_a, node_b] = ctx.bisected(f.node, wa, wb);
     const std::int32_t n1 = lbb::core::ba_split_processors(wa, wb, f.n);
-    const double done = f.time + cost.t_bisect;
+    const double done = f.time + fault.bisect_cost(f.proc_lo, cost.t_bisect);
     const std::int32_t depth = f.depth + 1;
-    ++m.messages;
-    const double arrival =
-        done + cost.send_cost(f.proc_lo, f.proc_lo + n1, n);
-    if (trace) {
-      trace->record(done, f.proc_lo, TraceEvent::kBisect, wa);
-      trace->record(done, f.proc_lo, TraceEvent::kSend, wb, f.proc_lo + n1);
-      trace->record(arrival, f.proc_lo + n1, TraceEvent::kReceive, wb,
-                    f.proc_lo);
-    }
+    if (trace) trace->record(done, f.proc_lo, TraceEvent::kBisect, wa);
+    const double arrival = faulted_transfer(fault, cost, n, m, trace,
+                                            f.proc_lo, f.proc_lo + n1, done,
+                                            wb);
     stack.push_back(Frame{std::move(b), wb, f.n - n1,
                           f.proc_lo + static_cast<lbb::core::ProcessorId>(n1),
                           arrival, depth, node_b});
@@ -153,7 +156,9 @@ template <lbb::core::Bisectable P>
 SimResult<P> ba_hf_phf_simulate(P problem, std::int32_t n, double alpha,
                                 const CostModel& cost,
                                 const lbb::core::PartitionOptions& popt,
-                                std::int32_t switch_threshold, Trace* trace) {
+                                std::int32_t switch_threshold, Trace* trace,
+                                const FaultConfig& faults) {
+  FaultModel fault(faults);
   SimResult<P> result;
   lbb::core::Partition<P>& out = result.partition;
   SimMetrics& m = result.metrics;
@@ -186,11 +191,22 @@ SimResult<P> ba_hf_phf_simulate(P problem, std::int32_t n, double alpha,
       continue;
     }
     if (f.n < switch_threshold) {
-      // PHF within the range [proc_lo, proc_lo + f.n).
-      auto sub = phf_simulate(std::move(f.problem), f.n, alpha, cost, {});
+      // PHF within the range [proc_lo, proc_lo + f.n).  Each sub-run gets
+      // its own fault stream derived from (seed, range start) so the fault
+      // pattern differs per range but stays deterministic.
+      PhfSimOptions sub_opt;
+      sub_opt.faults = faults;
+      sub_opt.faults.seed = lbb::stats::mix64(
+          faults.seed, static_cast<std::uint64_t>(f.proc_lo));
+      auto sub =
+          phf_simulate(std::move(f.problem), f.n, alpha, cost, sub_opt);
       m.makespan = std::max(m.makespan, f.time + sub.metrics.makespan);
       m.messages += sub.metrics.messages;
       m.collective_ops += sub.metrics.collective_ops;
+      m.retries += sub.metrics.retries;
+      m.lost_messages += sub.metrics.lost_messages;
+      m.delayed_messages += sub.metrics.delayed_messages;
+      m.backoff_time += sub.metrics.backoff_time;
       out.bisections += sub.partition.bisections;
       for (auto& piece : sub.partition.pieces) {
         ctx.piece(std::move(piece.problem), piece.weight,
@@ -209,17 +225,12 @@ SimResult<P> ba_hf_phf_simulate(P problem, std::int32_t n, double alpha,
     }
     const auto [node_a, node_b] = ctx.bisected(f.node, wa, wb);
     const std::int32_t n1 = lbb::core::ba_split_processors(wa, wb, f.n);
-    const double done = f.time + cost.t_bisect;
+    const double done = f.time + fault.bisect_cost(f.proc_lo, cost.t_bisect);
     const std::int32_t depth = f.depth + 1;
-    ++m.messages;
-    const double arrival =
-        done + cost.send_cost(f.proc_lo, f.proc_lo + n1, n);
-    if (trace) {
-      trace->record(done, f.proc_lo, TraceEvent::kBisect, wa);
-      trace->record(done, f.proc_lo, TraceEvent::kSend, wb, f.proc_lo + n1);
-      trace->record(arrival, f.proc_lo + n1, TraceEvent::kReceive, wb,
-                    f.proc_lo);
-    }
+    if (trace) trace->record(done, f.proc_lo, TraceEvent::kBisect, wa);
+    const double arrival = faulted_transfer(fault, cost, n, m, trace,
+                                            f.proc_lo, f.proc_lo + n1, done,
+                                            wb);
     stack.push_back(Frame{std::move(b), wb, f.n - n1,
                           f.proc_lo + static_cast<lbb::core::ProcessorId>(n1),
                           arrival, depth, node_b});
@@ -238,22 +249,25 @@ SimResult<P> ba_hf_phf_simulate(P problem, std::int32_t n, double alpha,
 template <lbb::core::Bisectable P>
 [[nodiscard]] SimResult<P> ba_simulate(
     P problem, std::int32_t n, const CostModel& cost = {},
-    const lbb::core::PartitionOptions& popt = {}, Trace* trace = nullptr) {
+    const lbb::core::PartitionOptions& popt = {}, Trace* trace = nullptr,
+    const FaultConfig& faults = {}) {
   return detail::ba_like_simulate(std::move(problem), n, cost, popt,
                                   /*switch_threshold=*/0,
-                                  /*prune_below=*/-1.0, trace);
+                                  /*prune_below=*/-1.0, trace, faults);
 }
 
 /// Simulates Algorithm BA' (threshold-pruned BA, Section 3.4).
 template <lbb::core::Bisectable P>
 [[nodiscard]] SimResult<P> ba_star_simulate(
     P problem, std::int32_t n, double alpha, const CostModel& cost = {},
-    const lbb::core::PartitionOptions& popt = {}, Trace* trace = nullptr) {
+    const lbb::core::PartitionOptions& popt = {}, Trace* trace = nullptr,
+    const FaultConfig& faults = {}) {
   lbb::core::require_valid_alpha(alpha);
   const double threshold =
       lbb::core::phf_phase1_threshold(alpha, problem.weight(), n);
   return detail::ba_like_simulate(std::move(problem), n, cost, popt,
-                                  /*switch_threshold=*/0, threshold, trace);
+                                  /*switch_threshold=*/0, threshold, trace,
+                                  faults);
 }
 
 /// Simulates Algorithm BA-HF.  The second (below-threshold) phase runs
@@ -266,7 +280,8 @@ template <lbb::core::Bisectable P>
     P problem, std::int32_t n, double alpha, double beta,
     const CostModel& cost = {},
     const lbb::core::PartitionOptions& popt = {}, Trace* trace = nullptr,
-    BaHfSecondPhase second_phase = BaHfSecondPhase::kSequentialHf) {
+    BaHfSecondPhase second_phase = BaHfSecondPhase::kSequentialHf,
+    const FaultConfig& faults = {}) {
   lbb::core::require_valid_alpha(alpha);
   if (!(beta > 0.0)) throw std::invalid_argument("ba_hf_simulate: beta <= 0");
   const std::int32_t threshold =
@@ -274,11 +289,11 @@ template <lbb::core::Bisectable P>
   if (second_phase == BaHfSecondPhase::kSequentialHf) {
     return detail::ba_like_simulate(std::move(problem), n, cost, popt,
                                     std::max<std::int32_t>(threshold, 2),
-                                    /*prune_below=*/-1.0, trace);
+                                    /*prune_below=*/-1.0, trace, faults);
   }
   return detail::ba_hf_phf_simulate(std::move(problem), n, alpha, cost, popt,
                                     std::max<std::int32_t>(threshold, 2),
-                                    trace);
+                                    trace, faults);
 }
 
 }  // namespace lbb::sim

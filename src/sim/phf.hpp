@@ -31,6 +31,15 @@
 // All managers yield the same partition; they differ in simulated time,
 // communication volume, and (under distance-sensitive SendTopology) in
 // where subproblems land.
+//
+// Fault injection (PhfSimOptions::faults, sim/fault_model.hpp): message
+// loss with bounded re-send, extra latency, per-processor slowdown, and
+// transient probe unresponsiveness with retry + exponential backoff.  The
+// asynchronous phase-1 scheduler orders events by their *ideal* fault-free
+// timestamps and threads the faulted "actual" clock through alongside, so
+// faults stretch the makespan and add retry/loss metrics but can never
+// reorder a bisection -- a degraded run returns the byte-identical
+// partition (same pieces, same processors) as the ideal one.
 #pragma once
 
 #include <algorithm>
@@ -45,8 +54,10 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "sim/checker.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "stats/rng.hpp"
@@ -64,12 +75,23 @@ enum class FreeProcManager {
                  ///< free one, paying one round-trip per miss
 };
 
+/// Seed of the kRandomProbe manager's RNG stream: the user seed scrambled
+/// with the full SplitMix64 golden-ratio constant via stats::mix64.  (An
+/// earlier revision XOR-ed the truncated constant 0x9b97f4a7c15, silently
+/// weakening the seed scrambling; tests pin the full-width mix.)
+[[nodiscard]] inline std::uint64_t phf_probe_stream_seed(
+    std::uint64_t probe_seed) noexcept {
+  return lbb::stats::mix64(probe_seed, 0x9e3779b97f4a7c15ULL);
+}
+
 /// Options of the PHF simulation.
 struct PhfSimOptions {
   FreeProcManager manager = FreeProcManager::kOracle;
   lbb::core::PartitionOptions partition;
   Trace* trace = nullptr;        ///< optional event trace (not owned)
   std::uint64_t probe_seed = 1;  ///< RNG seed for kRandomProbe
+  FaultConfig faults;            ///< injected faults (all-zero: ideal)
+  bool check_invariants = kMachineCheckDefault;  ///< run MachineChecker
 };
 
 /// Result of a simulated parallel run.
@@ -100,8 +122,9 @@ struct PhfSlot {
 /// class (needed for the phase-1 threshold and the phase-2 cutoff).
 ///
 /// The returned partition is identical (as a multiset of subproblems) to
-/// hf_partition(problem, n); the test suite asserts this exhaustively.
-/// Piece.processor carries the machine processor each subproblem ended on.
+/// hf_partition(problem, n); the test suite asserts this exhaustively --
+/// including under every fault-injection configuration.  Piece.processor
+/// carries the machine processor each subproblem ended on.
 template <lbb::core::Bisectable P>
 [[nodiscard]] SimResult<P> phf_simulate(P problem, std::int32_t n,
                                         double alpha,
@@ -110,6 +133,7 @@ template <lbb::core::Bisectable P>
   using Slot = detail::PhfSlot<P>;
   if (n < 1) throw std::invalid_argument("phf_simulate: n must be >= 1");
   lbb::core::require_valid_alpha(alpha);
+  FaultModel fault(opt.faults);  // validates the config
 
   SimResult<P> result;
   lbb::core::Partition<P>& out = result.partition;
@@ -154,13 +178,19 @@ template <lbb::core::Bisectable P>
 
   Trace* const trace = opt.trace;
 
-  // Bisects the problem in `slot`; the heavier child replaces the parent in
-  // place, the lighter child gets a fresh slot hosted on `receiver` (the
-  // caller has already marked the receiver busy).  `t` is the simulated
-  // time of the bisection's completion (trace only).  Returns the new
-  // slot's index.
-  auto bisect_slot = [&](std::int32_t slot_index, double t,
-                         std::int32_t receiver) {
+  // Bisects the problem in `slot_index`; the heavier child replaces the
+  // parent in place, the lighter child gets a fresh slot hosted on
+  // `receiver` (the caller has already marked the receiver busy, or fixes
+  // slot_proc afterwards when it passes -1).  Returns the new slot's
+  // index.  Validates *before* mutating: a failed call must leave slots,
+  // the processor flags and the free counter untouched, and must not
+  // consume the subproblem.
+  auto bisect_slot = [&](std::int32_t slot_index, std::int32_t receiver) {
+    if (free_procs <= 0) {
+      // Cannot happen for a valid alpha: phase-1/phase-2 bisections are a
+      // subset of HF's N-1 bisections (see Section 3.1 of the paper).
+      throw std::logic_error("phf_simulate: ran out of free processors");
+    }
     Slot& s = slots[static_cast<std::size_t>(slot_index)];
     auto [a, b] = s.problem.bisect();
     double wa = a.weight();
@@ -174,23 +204,8 @@ template <lbb::core::Bisectable P>
     s = Slot{std::move(a), wa, next_seq++, depth, node_a};
     slots.push_back(Slot{std::move(b), wb, next_seq++, depth, node_b});
     slot_proc.push_back(receiver);
-    if (free_procs <= 0) {
-      // Cannot happen for a valid alpha: phase-1/phase-2 bisections are a
-      // subset of HF's N-1 bisections (see Section 3.1 of the paper).
-      throw std::logic_error("phf_simulate: ran out of free processors");
-    }
     --free_procs;
-    ++m.messages;
-    const auto light = static_cast<std::int32_t>(slots.size() - 1);
-    if (trace && receiver >= 0) {
-      const std::int32_t sender =
-          slot_proc[static_cast<std::size_t>(slot_index)];
-      trace->record(t, sender, TraceEvent::kBisect, wa);
-      trace->record(t, sender, TraceEvent::kSend, wb, receiver);
-      trace->record(t + cost.send_cost(sender, receiver, n), receiver,
-                    TraceEvent::kReceive, wb, sender);
-    }
-    return light;
+    return static_cast<std::int32_t>(slots.size() - 1);
   };
 
   // --- Phase 1 -----------------------------------------------------------
@@ -206,50 +221,102 @@ template <lbb::core::Bisectable P>
   if (opt.manager == FreeProcManager::kOracle ||
       opt.manager == FreeProcManager::kRandomProbe) {
     const bool probing = opt.manager == FreeProcManager::kRandomProbe;
-    lbb::stats::Xoshiro256 probe_rng(opt.probe_seed ^ 0x9b97f4a7c15ULL);
-    EventQueue<std::int32_t> events;  // payload: slot whose bisection ends
-    auto activate = [&](std::int32_t slot_index, double t) {
+    lbb::stats::Xoshiro256 probe_rng(phf_probe_stream_seed(opt.probe_seed));
+    // Event payload: the slot whose bisection ends, plus its faulted
+    // ("actual") completion time.  The queue is keyed by the *ideal*
+    // fault-free timestamp, so injected delays and slowdowns can never
+    // reorder bisections: scheduling decisions, RNG consumption and
+    // placement are identical to the ideal machine's, and faults only
+    // stretch the actual clocks and the fault metrics.
+    struct Pending {
+      std::int32_t slot;
+      double actual;
+    };
+    EventQueue<Pending> events;
+    auto activate = [&](std::int32_t slot_index, double ideal,
+                        double actual) {
       if (slots[static_cast<std::size_t>(slot_index)].weight > threshold) {
-        events.push(t + cost.t_bisect, slot_index);
+        const std::int32_t host =
+            slot_proc[static_cast<std::size_t>(slot_index)];
+        events.push(
+            ideal + cost.t_bisect,
+            Pending{slot_index,
+                    actual + fault.bisect_cost(host, cost.t_bisect)});
       } else {
-        phase1_settle = std::max(phase1_settle, t);
+        phase1_settle = std::max(phase1_settle, actual);
       }
     };
-    activate(0, clock);
+    activate(0, clock, clock);
     while (!events.empty()) {
       const auto ev = events.pop();
-      phase1_settle = std::max(phase1_settle, ev.time);
+      const double actual = ev.payload.actual;
+      phase1_settle = std::max(phase1_settle, actual);
       const std::int32_t sender =
-          slot_proc[static_cast<std::size_t>(ev.payload)];
+          slot_proc[static_cast<std::size_t>(ev.payload.slot)];
       std::int32_t receiver = -1;
-      double probe_overhead = 0.0;
+      double probe_ideal = 0.0;   // miss round trips (also in ideal runs)
+      double probe_actual = 0.0;  // misses + fault retry backoff
       if (probing) {
+        // A probe loop can only ever get a "free" answer if somebody is
+        // free; fail fast instead of spinning forever (and before any
+        // state is touched).
+        if (free_procs <= 0) {
+          throw std::logic_error("phf_simulate: ran out of free processors");
+        }
         // Uniform probes until a free processor answers; each miss costs a
         // round trip before the final transfer.
         for (;;) {
           const auto candidate = static_cast<std::int32_t>(
               probe_rng.below(static_cast<std::uint64_t>(n)));
+          if (fault.enabled()) {
+            // Transient unresponsiveness: the prober retries the *same*
+            // processor with exponential backoff until it answers, so the
+            // probe stream -- and thus the placement -- is identical to
+            // the fault-free run.
+            const ProbeFaults pf = fault.on_probe();
+            if (pf.retries > 0) {
+              m.retries += pf.retries;
+              m.backoff_time += pf.backoff_time;
+              probe_actual += pf.backoff_time;
+              if (trace) {
+                trace->record(actual + probe_actual, sender,
+                              TraceEvent::kRetry, pf.backoff_time,
+                              candidate);
+              }
+            }
+          }
           if (!busy[static_cast<std::size_t>(candidate)]) {
             receiver = candidate;
             busy[static_cast<std::size_t>(candidate)] = 1;
             break;
           }
           ++m.failed_probes;
-          probe_overhead += 2.0 * cost.t_send;
+          const double rt = cost.round_trip_cost(sender, candidate, n);
+          probe_ideal += rt;
+          probe_actual += rt;
         }
       } else {
         receiver = take_lowest_free();
       }
-      const std::int32_t light = bisect_slot(ev.payload, ev.time, receiver);
-      activate(ev.payload, ev.time);  // sender continues
-      activate(light, ev.time + probe_overhead +
-                          cost.send_cost(sender, receiver, n));
+      const std::int32_t light = bisect_slot(ev.payload.slot, receiver);
+      if (trace) {
+        trace->record(actual, sender, TraceEvent::kBisect,
+                      slots[static_cast<std::size_t>(ev.payload.slot)].weight);
+      }
+      const double arrival = faulted_transfer(
+          fault, cost, n, m, trace, sender, receiver, actual + probe_actual,
+          slots[static_cast<std::size_t>(light)].weight);
+      activate(ev.payload.slot, ev.time, actual);  // sender continues
+      activate(light,
+               ev.time + probe_ideal + cost.send_cost(sender, receiver, n),
+               arrival);
     }
   } else {
     // Algorithm BA': BA recursion over processor ranges, pruned at the
     // weight threshold.  Purely local management, zero collectives; the
     // lighter child is always shipped to P_{proc_lo + n1} -- a nearby
-    // processor under distance-sensitive topologies.
+    // processor under distance-sensitive topologies.  The recursion order
+    // is structural (a stack), so fault delays cannot reorder it.
     struct Frame {
       std::int32_t slot;
       std::int32_t proc_lo;  ///< first processor of this frame's range
@@ -265,10 +332,10 @@ template <lbb::core::Bisectable P>
         phase1_settle = std::max(phase1_settle, f.time);
         continue;
       }
-      const double done = f.time + cost.t_bisect;
+      const double done = f.time + fault.bisect_cost(f.proc_lo, cost.t_bisect);
       // The receiver id depends on the split, which needs the child
       // weights; bisect first with a placeholder, then fix the receiver.
-      const std::int32_t light = bisect_slot(f.slot, done, /*receiver=*/-1);
+      const std::int32_t light = bisect_slot(f.slot, /*receiver=*/-1);
       const Slot& heavy = slots[static_cast<std::size_t>(f.slot)];
       const Slot& light_slot = slots[static_cast<std::size_t>(light)];
       const std::int32_t n1 = lbb::core::ba_split_processors(
@@ -278,15 +345,12 @@ template <lbb::core::Bisectable P>
       busy[static_cast<std::size_t>(receiver)] = 1;
       if (trace) {
         trace->record(done, f.proc_lo, TraceEvent::kBisect, heavy.weight);
-        trace->record(done, f.proc_lo, TraceEvent::kSend, light_slot.weight,
-                      receiver);
-        trace->record(done + cost.send_cost(f.proc_lo, receiver, n),
-                      receiver, TraceEvent::kReceive, light_slot.weight,
-                      f.proc_lo);
       }
+      const double arrival =
+          faulted_transfer(fault, cost, n, m, trace, f.proc_lo, receiver,
+                           done, light_slot.weight);
       stack.push_back(Frame{f.slot, f.proc_lo, n1, done});
-      stack.push_back(Frame{light, receiver, f.range - n1,
-                            done + cost.send_cost(f.proc_lo, receiver, n)});
+      stack.push_back(Frame{light, receiver, f.range - n1, arrival});
     }
     // Mop-up rounds: bisect everything still above the threshold, in
     // synchronous iterations (detection + enumeration collectives).
@@ -299,22 +363,34 @@ template <lbb::core::Bisectable P>
       }
       if (heavy_slots.empty()) break;
       ++m.mop_up_iterations;
-      const double mop_bisect_time =
-          phase1_settle + cost.collective_cost(n) + cost.t_bisect;
-      double worst_send = 0.0;
+      const double round_start = phase1_settle + cost.collective_cost(n);
+      double worst_step = 0.0;
       for (std::int32_t s : heavy_slots) {
         const std::int32_t sender = slot_proc[static_cast<std::size_t>(s)];
         const std::int32_t receiver = take_lowest_free();
-        worst_send =
-            std::max(worst_send, cost.send_cost(sender, receiver, n));
-        bisect_slot(s, mop_bisect_time, receiver);
+        const double bisect_done =
+            round_start + fault.bisect_cost(sender, cost.t_bisect);
+        const std::int32_t light = bisect_slot(s, receiver);
+        if (trace) {
+          trace->record(bisect_done, sender, TraceEvent::kBisect,
+                        slots[static_cast<std::size_t>(s)].weight);
+        }
+        const double arrival = faulted_transfer(
+            fault, cost, n, m, trace, sender, receiver, bisect_done,
+            slots[static_cast<std::size_t>(light)].weight);
+        worst_step = std::max(worst_step, arrival - round_start);
       }
-      phase1_settle +=
-          2.0 * cost.collective_cost(n) + cost.t_bisect + worst_send;
+      phase1_settle += 2.0 * cost.collective_cost(n) + worst_step;
       m.collective_ops += 2;
     }
   }
   m.phase1_bisections = static_cast<std::int64_t>(slots.size()) - 1;
+
+  if (opt.check_invariants) {
+    MachineChecker::enforce(
+        MachineChecker::check_state(n, busy, slot_proc, free_procs),
+        "end of phase 1");
+  }
 
   // Barrier (b) ending phase 1, then step (c): count + enumerate the free
   // processors.
@@ -370,17 +446,25 @@ template <lbb::core::Bisectable P>
       ++m.collective_ops;
     }
     {
-      const double bisect_time = clock + round_cost + cost.t_bisect;
-      double worst_send = 0.0;
+      const double round_start = clock + round_cost;
+      double worst_step = 0.0;
       for (std::int32_t s : candidates) {
         const std::int32_t sender = slot_proc[static_cast<std::size_t>(s)];
         const std::int32_t receiver = take_lowest_free();
-        worst_send =
-            std::max(worst_send, cost.send_cost(sender, receiver, n));
-        bisect_slot(s, bisect_time, receiver);
+        const double bisect_done =
+            round_start + fault.bisect_cost(sender, cost.t_bisect);
+        const std::int32_t light = bisect_slot(s, receiver);
+        if (trace) {
+          trace->record(bisect_done, sender, TraceEvent::kBisect,
+                        slots[static_cast<std::size_t>(s)].weight);
+        }
+        const double arrival = faulted_transfer(
+            fault, cost, n, m, trace, sender, receiver, bisect_done,
+            slots[static_cast<std::size_t>(light)].weight);
+        worst_step = std::max(worst_step, arrival - round_start);
       }
       m.phase2_bisections += k;
-      round_cost += cost.t_bisect + worst_send;
+      round_cost += worst_step;
     }
     if (free_procs > 0) {
       round_cost += cost.collective_cost(n);  // barrier (h)
@@ -391,6 +475,16 @@ template <lbb::core::Bisectable P>
 
   m.makespan = clock;
   m.bisections = static_cast<std::int64_t>(slots.size()) - 1;
+
+  if (opt.check_invariants) {
+    MachineChecker::enforce(
+        MachineChecker::check_state(n, busy, slot_proc, free_procs),
+        "end of phase 2");
+    if (trace) {
+      MachineChecker::enforce(MachineChecker::check_trace(*trace),
+                              "final trace");
+    }
+  }
 
   // Emit the partition on the processors the subproblems ended on.
   for (std::size_t i = 0; i < slots.size(); ++i) {

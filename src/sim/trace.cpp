@@ -18,6 +18,10 @@ const char* trace_event_name(TraceEvent event) {
       return "collective";
     case TraceEvent::kPhase:
       return "phase";
+    case TraceEvent::kDrop:
+      return "drop";
+    case TraceEvent::kRetry:
+      return "retry";
   }
   return "?";
 }
@@ -57,14 +61,18 @@ std::string Trace::render_timeline(std::int32_t max_processors,
   auto paint = [&](std::int32_t row, std::int32_t col, char c) {
     char& cell =
         canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
-    // Priority: collectives > bisections > sends > receives > idle.
+    // Priority: collectives > bisections > sends > faults > receives > idle.
     auto rank = [](char x) {
       switch (x) {
         case 'C':
-          return 4;
+          return 6;
         case 'B':
-          return 3;
+          return 5;
         case 's':
+          return 4;
+        case 'x':
+          return 3;
+        case '~':
           return 2;
         case 'r':
           return 1;
@@ -89,6 +97,12 @@ std::string Trace::render_timeline(std::int32_t max_processors,
         break;
       case TraceEvent::kCollective:
         for (std::int32_t row = 0; row < rows; ++row) paint(row, col, 'C');
+        break;
+      case TraceEvent::kDrop:
+        if (r.processor < rows) paint(r.processor, col, 'x');
+        break;
+      case TraceEvent::kRetry:
+        if (r.processor < rows) paint(r.processor, col, '~');
         break;
       case TraceEvent::kPhase:
         break;

@@ -21,6 +21,11 @@ enum class TraceEvent : std::uint8_t {
   kReceive,     ///< processor received a subproblem
   kCollective,  ///< a global operation completed (value = its cost)
   kPhase,       ///< phase marker (aux = phase number)
+  kDrop,        ///< an injected fault lost a transfer in flight; recorded
+                ///< on the sender when its re-send timeout fires
+                ///< (aux = destination, value = payload weight)
+  kRetry,       ///< probe retries against an unresponsive processor
+                ///< (aux = probed processor, value = total backoff time)
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEvent event);
@@ -57,8 +62,9 @@ class Trace {
 
   /// ASCII Gantt chart: one row per processor (at most `max_processors`
   /// rows), `width` time buckets.  Cell legend: 'B' bisection, 's' send,
-  /// 'r' receive, 'C' collective, '.' idle; machine-wide events paint a
-  /// 'C' column marker on every shown row.
+  /// 'r' receive, 'C' collective, 'x' dropped transfer, '~' probe retry
+  /// backoff, '.' idle; machine-wide events paint a 'C' column marker on
+  /// every shown row.
   [[nodiscard]] std::string render_timeline(std::int32_t max_processors = 16,
                                             std::int32_t width = 72) const;
 

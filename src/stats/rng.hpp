@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 
 namespace lbb::stats {
 
@@ -68,9 +69,11 @@ class Xoshiro256 {
     return lo + (hi - lo) * next_double();
   }
 
-  /// Uniform integer in [0, n).  n must be > 0.  Plain modulo; the bias of
-  /// at most n/2^64 per draw is irrelevant for simulation workloads.
-  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+  /// Uniform integer in [0, n).  Plain modulo; the bias of at most n/2^64
+  /// per draw is irrelevant for simulation workloads.  n == 0 is rejected
+  /// rather than hitting the undefined modulo-by-zero.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Xoshiro256::below: n == 0");
     return (*this)() % n;
   }
 

@@ -1,0 +1,162 @@
+// Tests for the machine invariant checker (sim/checker.hpp).
+#include "sim/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "sim/par_ba.hpp"
+#include "sim/phf.hpp"
+
+namespace lbb::sim {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+TEST(MachineCheckerTrace, CleanSimulatedTracesPass) {
+  SyntheticProblem p(21, AlphaDistribution::uniform(0.15, 0.5));
+  for (auto manager : {FreeProcManager::kOracle, FreeProcManager::kBaPrime,
+                       FreeProcManager::kRandomProbe}) {
+    Trace trace;
+    PhfSimOptions opt;
+    opt.manager = manager;
+    opt.trace = &trace;
+    (void)phf_simulate(p, 48, 0.15, {}, opt);
+    const auto result = MachineChecker::check_trace(trace);
+    EXPECT_TRUE(result.ok) << result.issue;
+  }
+  Trace ba_trace;
+  (void)ba_simulate(p, 48, {}, {}, &ba_trace);
+  EXPECT_TRUE(MachineChecker::check_trace(ba_trace).ok);
+}
+
+TEST(MachineCheckerTrace, CatchesInvalidTimestamps) {
+  Trace t;
+  t.record(-1.0, 0, TraceEvent::kBisect);
+  EXPECT_FALSE(MachineChecker::check_trace(t).ok);
+
+  Trace nan_trace;
+  nan_trace.record(std::numeric_limits<double>::quiet_NaN(), 0,
+                   TraceEvent::kBisect);
+  EXPECT_FALSE(MachineChecker::check_trace(nan_trace).ok);
+}
+
+TEST(MachineCheckerTrace, CatchesComputeTimeRegression) {
+  Trace t;
+  t.record(5.0, 2, TraceEvent::kBisect);
+  t.record(3.0, 2, TraceEvent::kBisect);  // runs backwards
+  const auto result = MachineChecker::check_trace(t);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.issue.find("backwards"), std::string::npos);
+}
+
+TEST(MachineCheckerTrace, SendEventsMayInterleave) {
+  // Send/drop records model the async communication engine; only the
+  // compute timeline (bisect/receive) must be monotone.
+  Trace t;
+  t.record(5.0, 2, TraceEvent::kBisect, 1.0);
+  t.record(3.0, 2, TraceEvent::kSend, 1.0, 4);
+  t.record(4.0, 4, TraceEvent::kReceive, 1.0, 2);
+  EXPECT_TRUE(MachineChecker::check_trace(t).ok);
+}
+
+TEST(MachineCheckerTrace, CatchesLostMessageWithoutDrop) {
+  Trace t;
+  t.record(1.0, 0, TraceEvent::kSend, 2.5, 1);
+  // ... never received, never dropped.
+  const auto result = MachineChecker::check_trace(t);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.issue.find("conservation"), std::string::npos);
+}
+
+TEST(MachineCheckerTrace, CatchesReceiveWithoutSend) {
+  Trace t;
+  t.record(1.0, 1, TraceEvent::kReceive, 2.5, 0);
+  EXPECT_FALSE(MachineChecker::check_trace(t).ok);
+}
+
+TEST(MachineCheckerTrace, DropBalancesTheLostAttempt) {
+  Trace t;
+  t.record(1.0, 0, TraceEvent::kSend, 2.5, 1);     // lost attempt
+  t.record(3.0, 0, TraceEvent::kDrop, 2.5, 1);     // its timeout
+  t.record(3.0, 0, TraceEvent::kSend, 2.5, 1);     // re-send
+  t.record(4.0, 1, TraceEvent::kReceive, 2.5, 0);  // delivery
+  const auto result = MachineChecker::check_trace(t);
+  EXPECT_TRUE(result.ok) << result.issue;
+}
+
+TEST(MachineCheckerTrace, CatchesGlobalEventsOutOfOrder) {
+  Trace t;
+  t.record(5.0, -1, TraceEvent::kCollective, 1.0);
+  t.record(3.0, -1, TraceEvent::kCollective, 1.0);
+  EXPECT_FALSE(MachineChecker::check_trace(t).ok);
+}
+
+TEST(MachineCheckerState, AcceptsConsistentBookkeeping) {
+  // 4 processors, slots on P0 and P2, two free.
+  std::vector<char> busy{1, 0, 1, 0};
+  std::vector<std::int32_t> slot_proc{0, 2};
+  EXPECT_TRUE(MachineChecker::check_state(4, busy, slot_proc, 2).ok);
+}
+
+TEST(MachineCheckerState, CatchesDuplicateHost) {
+  std::vector<char> busy{1, 0, 1, 0};
+  std::vector<std::int32_t> slot_proc{0, 0};
+  const auto result = MachineChecker::check_state(4, busy, slot_proc, 2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.issue.find("two slots"), std::string::npos);
+}
+
+TEST(MachineCheckerState, CatchesIdleHost) {
+  std::vector<char> busy{1, 0, 0, 0};
+  std::vector<std::int32_t> slot_proc{0, 2};  // slot 1 on idle P2
+  EXPECT_FALSE(MachineChecker::check_state(4, busy, slot_proc, 3).ok);
+}
+
+TEST(MachineCheckerState, CatchesBusyProcessorWithoutSlot) {
+  std::vector<char> busy{1, 1, 0, 0};  // P1 busy but hosts nothing
+  std::vector<std::int32_t> slot_proc{0};
+  EXPECT_FALSE(MachineChecker::check_state(4, busy, slot_proc, 2).ok);
+}
+
+TEST(MachineCheckerState, CatchesFreeCounterMismatch) {
+  std::vector<char> busy{1, 0, 1, 0};
+  std::vector<std::int32_t> slot_proc{0, 2};
+  EXPECT_FALSE(MachineChecker::check_state(4, busy, slot_proc, 3).ok);
+}
+
+TEST(MachineCheckerState, CatchesOutOfRangeHost) {
+  std::vector<char> busy{1, 0};
+  std::vector<std::int32_t> slot_proc{0, 7};
+  EXPECT_FALSE(MachineChecker::check_state(2, busy, slot_proc, 0).ok);
+}
+
+TEST(MachineChecker, EnforceThrowsWithContext) {
+  EXPECT_NO_THROW(MachineChecker::enforce(CheckResult::good(), "here"));
+  try {
+    MachineChecker::enforce(CheckResult::bad("broken"), "phase 1");
+    FAIL() << "enforce did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("MachineChecker(phase 1)"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos);
+  }
+}
+
+TEST(MachineChecker, SimulatorEnforcesCheckerWhenEnabled) {
+  // check_invariants runs the state + trace checks inside phf_simulate; a
+  // clean run must not throw with them forced on.
+  SyntheticProblem p(22, AlphaDistribution::uniform(0.2, 0.5));
+  Trace trace;
+  PhfSimOptions opt;
+  opt.trace = &trace;
+  opt.check_invariants = true;
+  EXPECT_NO_THROW((void)phf_simulate(p, 32, 0.2, {}, opt));
+}
+
+}  // namespace
+}  // namespace lbb::sim

@@ -8,13 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <utility>
 
 #include "core/bounds.hpp"
 #include "core/hf.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
 #include "sim/par_ba.hpp"
+#include "stats/rng.hpp"
 
 namespace lbb::sim {
 namespace {
@@ -278,6 +281,67 @@ TEST(PhfManagers, ProbeSeedChangesTimingNotPartition) {
   const auto a = phf_simulate(p, 512, 0.1, CostModel{}, opt1);
   const auto b = phf_simulate(p, 512, 0.1, CostModel{}, opt2);
   EXPECT_EQ(a.partition.sorted_weights(), b.partition.sorted_weights());
+}
+
+TEST(PhfManagers, ProbeStreamSeedUsesFullMixConstant) {
+  // Regression: the probe RNG seed was once XOR'd with a *truncated*
+  // SplitMix64 golden-ratio constant (0x9b97f4a7c15 instead of
+  // 0x9e3779b97f4a7c15), silently weakening the scrambling.  The stream
+  // seed is now the full-width stats::mix64 of the user seed.
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, ~0ULL}) {
+    EXPECT_EQ(phf_probe_stream_seed(seed),
+              lbb::stats::mix64(seed, 0x9e3779b97f4a7c15ULL));
+    EXPECT_NE(phf_probe_stream_seed(seed), seed ^ 0x9b97f4a7c15ULL);
+  }
+}
+
+// A pathological "problem" whose bisector violates weight conservation:
+// both children report the parent's full weight, so no bisection sequence
+// can ever drive the weights below PHF's phase-1 threshold.  Used to pin
+// how the simulator fails when it runs out of free processors.
+class LyingProblem {
+ public:
+  explicit LyingProblem(std::shared_ptr<std::int64_t> bisect_calls,
+                        double weight = 1024.0)
+      : bisect_calls_(std::move(bisect_calls)), weight_(weight) {}
+
+  [[nodiscard]] double weight() const { return weight_; }
+  [[nodiscard]] std::pair<LyingProblem, LyingProblem> bisect() const {
+    ++*bisect_calls_;
+    return {LyingProblem(bisect_calls_, weight_),
+            LyingProblem(bisect_calls_, weight_)};
+  }
+
+ private:
+  std::shared_ptr<std::int64_t> bisect_calls_;
+  double weight_;
+};
+
+TEST(PhfExhaustion, RandomProbeFailsFastInsteadOfSpinning) {
+  // Regression: the probe loop used to spin forever when every processor
+  // was busy (nobody can ever answer "free"), and the bisection itself
+  // happened before the free-processor check, consuming the subproblem.
+  // Now the simulator throws before mutating anything: exactly n-1
+  // successful bisections happen, and the failing call performs none.
+  const auto calls = std::make_shared<std::int64_t>(0);
+  PhfSimOptions opt;
+  opt.manager = FreeProcManager::kRandomProbe;
+  const std::int32_t n = 16;
+  EXPECT_THROW(
+      (void)phf_simulate(LyingProblem(calls), n, 0.3, CostModel{}, opt),
+      std::logic_error);
+  EXPECT_EQ(*calls, n - 1);
+}
+
+TEST(PhfExhaustion, OracleFailsWithoutConsumingTheProblem) {
+  const auto calls = std::make_shared<std::int64_t>(0);
+  PhfSimOptions opt;
+  opt.manager = FreeProcManager::kOracle;
+  const std::int32_t n = 16;
+  EXPECT_THROW(
+      (void)phf_simulate(LyingProblem(calls), n, 0.3, CostModel{}, opt),
+      std::logic_error);
+  EXPECT_EQ(*calls, n - 1);
 }
 
 }  // namespace

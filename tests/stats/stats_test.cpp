@@ -63,6 +63,19 @@ TEST(Xoshiro, BelowIsInRange) {
   }
 }
 
+TEST(Xoshiro, BelowZeroThrowsInsteadOfUb) {
+  // Regression: below(0) used to execute `x % 0`, which is undefined
+  // behavior (UBSan flags it).  It must reject the argument instead.
+  Xoshiro256 rng(5);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+  // The rejection happens before any draw, so the stream is untouched: the
+  // next draw matches a fresh generator's first one.
+  Xoshiro256 fresh(5);
+  EXPECT_EQ(rng.below(17), fresh.below(17));
+  // n == 1 stays legal (and is always 0).
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
 TEST(HashToUnit, RangeAndDeterminism) {
   for (std::uint64_t h : {0ULL, 1ULL, ~0ULL, 0xdeadbeefULL}) {
     const double u = hash_to_unit(h);

@@ -7,6 +7,18 @@
 # wall-clock assertions, so it is safe on loaded or single-core CI runners.
 #
 # Usage: check_determinism.sh <table1_ratios-binary> <perf_report-binary>
+#
+# Sanitizer workflow (catches the UB this gate cannot): the CMake presets
+# asan / ubsan / tsan configure sanitized builds via -DLBB_SANITIZE=..., and
+# the matching test presets run the label-filtered sim/runtime/stats suites
+# under them:
+#
+#   cmake --preset ubsan && cmake --build --preset ubsan -j
+#   ctest --preset ubsan-sim
+#
+# (likewise asan / asan-sim and tsan / tsan-sim).  The fault-injection
+# tests (sim_fault_model_test) assert the same thread-count determinism for
+# degraded simulations that this script asserts for the experiment engine.
 set -eu
 
 TABLE1=${1:?usage: check_determinism.sh <table1_ratios> <perf_report>}
