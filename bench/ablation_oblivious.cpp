@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/hf.hpp"
 #include "core/ba.hpp"
 #include "core/oblivious.hpp"
@@ -23,7 +24,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_ablation_oblivious(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

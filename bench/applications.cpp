@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/lbb.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/fe_tree.hpp"
@@ -61,7 +62,7 @@ void measure(Row& row, const P& problem, std::int32_t n, double alpha_guess) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int lbb::bench::run_applications(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   const auto n = static_cast<std::int32_t>(cli.get_int("n", 64));
   const auto trials = static_cast<std::int32_t>(cli.get_int("trials", 20));

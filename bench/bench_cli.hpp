@@ -1,22 +1,32 @@
-// Tiny argv parser shared by the table/figure reproduction harnesses.
+// Tiny argv parser shared by the lbb_bench experiment harnesses.
 //
 // Conventions: options are --name=value, bare flags are --name; --full
 // switches a bench from its quick default configuration to the
 // paper-faithful one (1000 trials for every N up to 2^20); --threads=K
 // runs Monte-Carlo trials on K worker threads (0 = one per hardware
 // thread) with results identical to --threads=1.
+//
+// Malformed input (positional arguments, non-numeric values where a
+// number is required) raises CliError; the lbb_bench driver catches it,
+// prints the message to stderr, and exits with status 2.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
-#include <iostream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 namespace lbb::bench {
+
+/// Bad command-line input (exit code 2 at the driver level).
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Parsed command line: --key=value pairs and bare flags.
 class Cli {
@@ -25,8 +35,7 @@ class Cli {
     for (int i = 1; i < argc; ++i) {
       std::string_view arg(argv[i]);
       if (!arg.starts_with("--")) {
-        std::cerr << "unknown positional argument: " << arg << "\n";
-        std::exit(2);
+        throw CliError("unknown positional argument: " + std::string(arg));
       }
       arg.remove_prefix(2);
       const auto eq = arg.find('=');
@@ -46,22 +55,56 @@ class Cli {
     return false;
   }
 
+  /// Integer option.  The whole value must parse ("--trials=abc",
+  /// "--trials=", and "--trials=12x" all raise CliError -- no silent 0).
   [[nodiscard]] std::int64_t get_int(std::string_view name,
                                      std::int64_t fallback) const {
     const std::string* v = find(name);
-    return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+    if (v->empty() || end != v->c_str() + v->size()) {
+      throw CliError("--" + std::string(name) + ": expected an integer, got '" +
+                     *v + "'");
+    }
+    return parsed;
   }
 
+  /// Floating-point option; same strictness as get_int.
   [[nodiscard]] double get_double(std::string_view name,
                                   double fallback) const {
     const std::string* v = find(name);
-    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (v->empty() || end != v->c_str() + v->size()) {
+      throw CliError("--" + std::string(name) + ": expected a number, got '" +
+                     *v + "'");
+    }
+    return parsed;
   }
 
   [[nodiscard]] std::string get_string(std::string_view name,
                                        std::string fallback = "") const {
     const std::string* v = find(name);
     return v ? *v : fallback;
+  }
+
+  /// Comma-separated list option ("--algos=ba,hf"); empty when absent.
+  [[nodiscard]] std::vector<std::string> get_list(std::string_view name) const {
+    std::vector<std::string> out;
+    const std::string* v = find(name);
+    if (v == nullptr) return out;
+    std::string_view rest(*v);
+    while (true) {
+      const auto comma = rest.find(',');
+      if (!rest.substr(0, comma).empty()) {
+        out.emplace_back(rest.substr(0, comma));
+      }
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+    return out;
   }
 
   /// The --threads option, for the experiment engines: absent -> fallback

@@ -11,14 +11,13 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/bounds.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_beta_sweep(int argc, char** argv) {
   using namespace lbb;
-  using experiments::Algo;
-
   const bench::Cli cli(argc, argv);
   const double lo = cli.get_double("lo", 0.1);
   const double hi = cli.get_double("hi", 0.5);
@@ -40,7 +39,7 @@ int main(int argc, char** argv) {
 
   // HF reference row (beta-independent).
   auto hf_config = base;
-  hf_config.algos = {Algo::kHF};
+  hf_config.algos = {"hf"};
   const auto hf = experiments::run_ratio_experiment(hf_config);
 
   stats::TextTable table;
@@ -56,11 +55,11 @@ int main(int argc, char** argv) {
   for (const double beta : betas) {
     auto config = base;
     config.beta = beta;
-    config.algos = {Algo::kBAHF};
+    config.algos = {"ba_hf"};
     const auto result = experiments::run_ratio_experiment(config);
     std::vector<double> row;
     for (const auto k : log2_n) {
-      row.push_back(result.cell(Algo::kBAHF, k).ratio.mean());
+      row.push_back(result.cell("ba_hf", k).ratio.mean());
     }
     if (beta == 1.0) avg_at_beta1 = row.back();
     rows.push_back(std::move(row));
@@ -78,7 +77,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells = {"HF", stats::fmt(
         core::hf_ratio_bound(lo), 2)};
     for (const auto k : log2_n) {
-      cells.push_back(stats::fmt(hf.cell(Algo::kHF, k).ratio.mean(), 3));
+      cells.push_back(stats::fmt(hf.cell("hf", k).ratio.mean(), 3));
     }
     cells.push_back("(lower limit)");
     table.add_separator();

@@ -12,12 +12,13 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/lbb.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_bound_tightness(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -5,15 +5,16 @@
 // including the O(log^2 N) sorting fallback used when PHF's phase 2 must
 // select the f heaviest subproblems.
 //
-// Usage: collective_costs
+// Usage: lbb_bench collective_costs
 #include <iostream>
 #include <vector>
 
+#include "bench/experiment_registry.hpp"
 #include "net/collectives.hpp"
 #include "sim/cost_model.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int lbb::bench::run_collective_costs(int /*argc*/, char** /*argv*/) {
   using namespace lbb;
 
   stats::TextTable table;

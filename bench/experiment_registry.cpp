@@ -1,0 +1,66 @@
+#include "bench/experiment_registry.hpp"
+
+namespace lbb::bench {
+
+const std::vector<Experiment>& experiments() {
+  static const std::vector<Experiment> kExperiments = {
+      {"table1", "table1_ratios",
+       "performance ratios vs N for BA/BA*/BA-HF/HF (Table 1)", run_table1},
+      {"fig5", "fig5_avg_ratio",
+       "average performance ratio vs log2(N), ASCII plot (Figure 5)",
+       run_fig5},
+      {"beta_sweep", "",
+       "BA-HF ratio as a function of the beta switch parameter", run_beta_sweep},
+      {"interval_sweep", "",
+       "ratios across [alpha_lo, alpha_hi] bisector-quality intervals",
+       run_interval_sweep},
+      {"runtime_scaling", "",
+       "simulated makespan/messages/collectives of PHF/BA/BA-HF vs N",
+       run_runtime_scaling},
+      {"phf_iterations", "",
+       "PHF phase-2 iteration counts vs the Theorem 3 bound", run_phf_iterations},
+      {"applications", "",
+       "all algorithms on every application substrate (FEM, quadrature, ...)",
+       run_applications},
+      {"collective_costs", "",
+       "network collective round counts vs the CostModel's charges",
+       run_collective_costs},
+      {"ablation_oblivious", "",
+       "weight-oblivious baselines (BFS/DFS/random) vs weight-aware HF",
+       run_ablation_oblivious},
+      {"bound_tightness", "",
+       "observed vs proven worst-case ratios on point-mass instances",
+       run_bound_tightness},
+      {"topology_ablation", "",
+       "simulated algorithms across machine topologies and fault profiles",
+       run_topology_ablation},
+      {"fault_sweep", "",
+       "PHF free-processor managers under message loss/delay profiles",
+       run_fault_sweep},
+      {"noise_robustness", "",
+       "partition quality under multiplicative weight-estimate noise",
+       run_noise_robustness},
+      {"fem_speedup", "",
+       "end-to-end speedups on adaptive FEM refinement trees", run_fem_speedup},
+      {"perf_report", "",
+       "machine-readable perf snapshot (BENCH_ratio_experiment.json)",
+       run_perf_report},
+      {"micro_core", "",
+       "google-benchmark microbenchmarks of the core partitioners",
+       run_micro_core},
+      {"micro_sim", "",
+       "google-benchmark microbenchmarks of the simulated machine",
+       run_micro_sim},
+  };
+  return kExperiments;
+}
+
+const Experiment* find_experiment(std::string_view name) {
+  for (const Experiment& exp : experiments()) {
+    if (exp.name == name) return &exp;
+    if (!exp.legacy_alias.empty() && exp.legacy_alias == name) return &exp;
+  }
+  return nullptr;
+}
+
+}  // namespace lbb::bench

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
 #include "sim/fault_model.hpp"
@@ -63,7 +64,7 @@ std::vector<Profile> profiles() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int lbb::bench::run_fault_sweep(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/lbb.hpp"
 #include "core/oblivious.hpp"
 #include "problems/fe_tree.hpp"
@@ -17,7 +18,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_fem_speedup(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -2,9 +2,10 @@
 // BA-HF, HF versus log2 N for alpha-hat ~ U[0.1, 0.5], beta = 1.0.
 //
 // Usage:
-//   fig5_avg_ratio            quick mode
-//   fig5_avg_ratio --full     1000 trials for every N = 2^5 ... 2^20
-//   fig5_avg_ratio --threads=8  trials on 8 workers (same output bytes)
+//   lbb_bench fig5            quick mode
+//   lbb_bench fig5 --full     1000 trials for every N = 2^5 ... 2^20
+//   lbb_bench fig5 --threads=8  trials on 8 workers (same output bytes)
+//   lbb_bench fig5 --algos=ba,hf  any registered partitioner names
 //
 // Expected shape (paper, Figure 5): four nearly flat series ordered
 // BA > BA* > BA-HF > HF, with HF's average ratio almost constant across the
@@ -12,12 +13,12 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_fig5(int argc, char** argv) {
   using namespace lbb;
-  using experiments::Algo;
 
   const bench::Cli cli(argc, argv);
   experiments::RatioExperimentConfig config;
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
   config.trials = static_cast<std::int32_t>(cli.get_int("trials", 1000));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   config.threads = cli.threads();
+  config.time_limit_seconds = cli.get_double("time-limit", 0.0);
+  if (const auto algos = cli.get_list("algos"); !algos.empty()) {
+    config.algos = algos;
+  }
   config.log2_n = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
   if (!cli.flag("full")) {
     config.bisection_budget = cli.get_int("budget", std::int64_t{1} << 23);
@@ -37,14 +42,22 @@ int main(int argc, char** argv) {
 
   const auto result = experiments::run_ratio_experiment(config);
 
+  const auto display_of = [&](const std::string& algo) {
+    return result.cell(algo, config.log2_n.front()).display;
+  };
+
   stats::TextTable table;
-  table.set_header({"logN", "BA", "BA*", "BA-HF", "HF"});
+  std::vector<std::string> header = {"logN"};
+  for (const std::string& algo : config.algos) {
+    header.push_back(display_of(algo));
+  }
+  table.set_header(std::move(header));
   for (const std::int32_t k : config.log2_n) {
-    table.add_row({std::to_string(k),
-                   stats::fmt(result.cell(Algo::kBA, k).ratio.mean(), 3),
-                   stats::fmt(result.cell(Algo::kBAStar, k).ratio.mean(), 3),
-                   stats::fmt(result.cell(Algo::kBAHF, k).ratio.mean(), 3),
-                   stats::fmt(result.cell(Algo::kHF, k).ratio.mean(), 3)});
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const std::string& algo : config.algos) {
+      row.push_back(stats::fmt(result.cell(algo, k).ratio.mean(), 3));
+    }
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
 
@@ -56,9 +69,8 @@ int main(int argc, char** argv) {
 
   // Simple ASCII rendering of the figure.
   std::cout << "\navg ratio (x = logN, each column scaled to [1, 4])\n";
-  for (const Algo algo :
-       {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF}) {
-    std::cout << experiments::algo_name(algo) << "\t";
+  for (const std::string& algo : config.algos) {
+    std::cout << display_of(algo) << "\t";
     for (const std::int32_t k : config.log2_n) {
       const double r = result.cell(algo, k).ratio.mean();
       const int height =

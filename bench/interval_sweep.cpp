@@ -14,13 +14,12 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_interval_sweep(int argc, char** argv) {
   using namespace lbb;
-  using experiments::Algo;
-
   const bench::Cli cli(argc, argv);
   struct Interval {
     double lo, hi;
@@ -44,7 +43,7 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
     config.threads = cli.threads();
     config.log2_n = log2_n;
-    config.algos = {Algo::kBA, Algo::kBAHF, Algo::kHF};
+    config.algos = {"ba", "ba_hf", "hf"};
     if (!cli.flag("full")) {
       config.bisection_budget = std::int64_t{1} << 22;
     }
@@ -52,20 +51,20 @@ int main(int argc, char** argv) {
 
     double best = 1e300;
     double worst = 0.0;
-    for (const auto algo : config.algos) {
+    for (const auto& algo : config.algos) {
       const double avg = result.cell(algo, 14).ratio.mean();
       best = std::min(best, avg);
       worst = std::max(worst, avg);
     }
     table.add_separator();
-    for (const auto algo : config.algos) {
+    for (const auto& algo : config.algos) {
       table.add_row(
-          {config.dist.describe(), experiments::algo_name(algo),
+          {config.dist.describe(), result.cell(algo, 6).display,
            stats::fmt(result.cell(algo, 6).ratio.mean(), 3),
            stats::fmt(result.cell(algo, 10).ratio.mean(), 3),
            stats::fmt(result.cell(algo, 14).ratio.mean(), 3),
            stats::fmt(result.cell(algo, 14).ratio.stddev(), 4),
-           algo == Algo::kHF ? stats::fmt(worst / best, 2) : ""});
+           algo == "hf" ? stats::fmt(worst / best, 2) : ""});
     }
   }
   std::cout << "Interval study: average ratio and spread per alpha-hat "

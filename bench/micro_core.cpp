@@ -3,6 +3,8 @@
 // (HF's heap, BA's recursion, per-bisection cost of the problem classes).
 #include <benchmark/benchmark.h>
 
+#include "bench/experiment_registry.hpp"
+
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -29,7 +31,6 @@ void BM_HfPartition(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_HfPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
 
 void BM_BaPartition(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -40,7 +41,6 @@ void BM_BaPartition(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_BaPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
 
 void BM_BaHfPartition(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -52,7 +52,6 @@ void BM_BaHfPartition(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_BaHfPartition)->RangeMultiplier(8)->Range(64, 1 << 15);
 
 void BM_HfWithTreeRecording(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -65,7 +64,6 @@ void BM_HfWithTreeRecording(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_HfWithTreeRecording)->Arg(4096);
 
 // The heap that orders HF's "always split the heaviest" loop, isolated
 // from the bisection work: push n entries in a scrambled weight order,
@@ -95,7 +93,6 @@ void BM_HfHeapPushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_HfHeapPushPop)->RangeMultiplier(8)->Range(64, 1 << 15);
 
 void BM_SyntheticBisect(benchmark::State& state) {
   const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
@@ -104,7 +101,6 @@ void BM_SyntheticBisect(benchmark::State& state) {
     benchmark::DoNotOptimize(children.first.weight());
   }
 }
-BENCHMARK(BM_SyntheticBisect);
 
 void BM_PivotListBisect(benchmark::State& state) {
   const lbb::problems::PivotListProblem p(1, 1 << 20);
@@ -113,7 +109,6 @@ void BM_PivotListBisect(benchmark::State& state) {
     benchmark::DoNotOptimize(children.first.count());
   }
 }
-BENCHMARK(BM_PivotListBisect);
 
 void BM_FeTreeBisect(benchmark::State& state) {
   const auto tree = lbb::problems::FeTree::adaptive_refinement(
@@ -125,7 +120,6 @@ void BM_FeTreeBisect(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_FeTreeBisect)->RangeMultiplier(4)->Range(256, 1 << 13);
 
 void BM_GridBisect(benchmark::State& state) {
   const auto field = std::make_shared<const lbb::problems::GridField>(
@@ -136,7 +130,6 @@ void BM_GridBisect(benchmark::State& state) {
     benchmark::DoNotOptimize(children.first.weight());
   }
 }
-BENCHMARK(BM_GridBisect);
 
 void BM_SplitProcessors(benchmark::State& state) {
   double heavier = 0.7;
@@ -145,8 +138,41 @@ void BM_SplitProcessors(benchmark::State& state) {
         lbb::core::ba_split_processors(heavier, 1.0 - heavier + 0.3, 1024));
   }
 }
-BENCHMARK(BM_SplitProcessors);
+
+/// Registers this file's benchmarks with google-benchmark.  Called by
+/// run_micro_core() so `lbb_bench micro_core` runs exactly this set even
+/// though the other micro suite is linked into the same binary.
+void register_micro_core_benchmarks() {
+  benchmark::RegisterBenchmark("BM_HfPartition", BM_HfPartition)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_BaPartition", BM_BaPartition)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_BaHfPartition", BM_BaHfPartition)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_HfWithTreeRecording", BM_HfWithTreeRecording)
+      ->Arg(4096);
+  benchmark::RegisterBenchmark("BM_HfHeapPushPop", BM_HfHeapPushPop)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_SyntheticBisect", BM_SyntheticBisect);
+  benchmark::RegisterBenchmark("BM_PivotListBisect", BM_PivotListBisect);
+  benchmark::RegisterBenchmark("BM_FeTreeBisect", BM_FeTreeBisect)
+      ->RangeMultiplier(4)
+      ->Range(256, 1 << 13);
+  benchmark::RegisterBenchmark("BM_GridBisect", BM_GridBisect);
+  benchmark::RegisterBenchmark("BM_SplitProcessors", BM_SplitProcessors);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int lbb::bench::run_micro_core(int argc, char** argv) {
+  register_micro_core_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

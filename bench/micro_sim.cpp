@@ -3,6 +3,8 @@
 // message-level collectives.
 #include <benchmark/benchmark.h>
 
+#include "bench/experiment_registry.hpp"
+
 #include <vector>
 
 #include "net/collectives.hpp"
@@ -26,7 +28,6 @@ void BM_PhfSimulate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_PhfSimulate)->RangeMultiplier(8)->Range(64, 1 << 13);
 
 void BM_BaSimulate(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -37,7 +38,6 @@ void BM_BaSimulate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_BaSimulate)->RangeMultiplier(8)->Range(64, 1 << 13);
 
 void BM_EventQueue(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -54,7 +54,6 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueue)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_NetBroadcast(benchmark::State& state) {
   std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.0);
@@ -63,7 +62,6 @@ void BM_NetBroadcast(benchmark::State& state) {
     benchmark::DoNotOptimize(s.rounds);
   }
 }
-BENCHMARK(BM_NetBroadcast)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_NetPrefixSum(benchmark::State& state) {
   std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.0);
@@ -72,7 +70,6 @@ void BM_NetPrefixSum(benchmark::State& state) {
     benchmark::DoNotOptimize(s.rounds);
   }
 }
-BENCHMARK(BM_NetPrefixSum)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_NetBitonicSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -88,8 +85,38 @@ void BM_NetBitonicSort(benchmark::State& state) {
     benchmark::DoNotOptimize(s.rounds);
   }
 }
-BENCHMARK(BM_NetBitonicSort)->Arg(1 << 10)->Arg(1 << 13);
+
+/// Registers this file's benchmarks with google-benchmark.  Called by
+/// run_micro_sim() so `lbb_bench micro_sim` runs exactly this set even
+/// though the other micro suite is linked into the same binary.
+void register_micro_sim_benchmarks() {
+  benchmark::RegisterBenchmark("BM_PhfSimulate", BM_PhfSimulate)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 13);
+  benchmark::RegisterBenchmark("BM_BaSimulate", BM_BaSimulate)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 13);
+  benchmark::RegisterBenchmark("BM_EventQueue", BM_EventQueue)
+      ->Arg(1 << 10)
+      ->Arg(1 << 14);
+  benchmark::RegisterBenchmark("BM_NetBroadcast", BM_NetBroadcast)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16);
+  benchmark::RegisterBenchmark("BM_NetPrefixSum", BM_NetPrefixSum)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16);
+  benchmark::RegisterBenchmark("BM_NetBitonicSort", BM_NetBitonicSort)
+      ->Arg(1 << 10)
+      ->Arg(1 << 13);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int lbb::bench::run_micro_sim(int argc, char** argv) {
+  register_micro_sim_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

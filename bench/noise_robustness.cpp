@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/ba.hpp"
 #include "core/hf.hpp"
 #include "problems/alpha_dist.hpp"
@@ -25,7 +26,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_noise_robustness(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -5,33 +5,22 @@
 // per-cell wall time, bisection counts and throughput to a JSON file, so CI
 // and PRs can track the hot-path kernels and thread scaling over time.
 //
-// Usage: perf_report [--out=BENCH_ratio_experiment.json] [--threads=K]
-//                    [--trials=N]
+// Usage: lbb_bench perf_report [--out=BENCH_ratio_experiment.json]
+//                              [--threads=K] [--trials=N]
 //
 // The statistics in the report are byte-identical for every --threads value
 // (see src/experiments/ratio_experiment.hpp); only the wall times change.
 #include <fstream>
-#include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "experiments/ratio_experiment.hpp"
+#include "stats/json.hpp"
 
-namespace {
-
-std::string json_double(double v) {
-  std::ostringstream out;
-  out << std::setprecision(17) << v;
-  return out.str();
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int lbb::bench::run_perf_report(int argc, char** argv) {
   using namespace lbb;
-  using experiments::Algo;
 
   const bench::Cli cli(argc, argv);
   const std::string out_path =
@@ -49,58 +38,59 @@ int main(int argc, char** argv) {
       {"fig5_U[0.1,0.5]", 0.1, 0.5},
   };
 
-  std::ostringstream json;
-  json << "{\n";
-  json << "  \"benchmark\": \"ratio_experiment\",\n";
-  json << "  \"threads\": " << threads << ",\n";
-  json << "  \"trials\": " << trials << ",\n";
-  json << "  \"experiments\": [\n";
-
-  for (std::size_t e = 0; e < pinned.size(); ++e) {
-    experiments::RatioExperimentConfig config;
-    config.dist =
-        problems::AlphaDistribution::uniform(pinned[e].lo, pinned[e].hi);
-    config.trials = trials;
-    config.seed = 1;
-    config.threads = threads;
-    config.log2_n = {6, 10, 14};
-    config.algos = {Algo::kBA, Algo::kBAHF, Algo::kHF};
-    config.bisection_budget = std::int64_t{1} << 22;
-
-    const auto result = experiments::run_ratio_experiment(config);
-
-    json << "    {\n";
-    json << "      \"name\": \"" << pinned[e].name << "\",\n";
-    json << "      \"alpha_lo\": " << json_double(pinned[e].lo) << ",\n";
-    json << "      \"alpha_hi\": " << json_double(pinned[e].hi) << ",\n";
-    json << "      \"cells\": [\n";
-    for (std::size_t c = 0; c < result.cells.size(); ++c) {
-      const auto& cell = result.cells[c];
-      const double bisections_per_sec =
-          cell.wall_seconds > 0.0
-              ? static_cast<double>(cell.bisections) / cell.wall_seconds
-              : 0.0;
-      json << "        {\"algo\": \"" << experiments::algo_name(cell.algo)
-           << "\", \"log2_n\": " << cell.log2_n
-           << ", \"trials\": " << cell.trials
-           << ", \"wall_seconds\": " << json_double(cell.wall_seconds)
-           << ", \"bisections\": " << cell.bisections
-           << ", \"bisections_per_sec\": " << json_double(bisections_per_sec)
-           << ", \"mean_ratio\": " << json_double(cell.ratio.mean()) << "}"
-           << (c + 1 < result.cells.size() ? "," : "") << "\n";
-    }
-    json << "      ]\n";
-    json << "    }" << (e + 1 < pinned.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n";
-  json << "}\n";
-
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "perf_report: cannot open " << out_path << " for writing\n";
     return 1;
   }
-  out << json.str();
+  stats::JsonWriter json(out);
+  json.begin_object();
+  json.member("benchmark", "ratio_experiment");
+  json.member("threads", threads);
+  json.member("trials", trials);
+  json.key("experiments");
+  json.begin_array();
+
+  for (const Pinned& pin : pinned) {
+    experiments::RatioExperimentConfig config;
+    config.dist = problems::AlphaDistribution::uniform(pin.lo, pin.hi);
+    config.trials = trials;
+    config.seed = 1;
+    config.threads = threads;
+    config.log2_n = {6, 10, 14};
+    config.algos = {"ba", "ba_hf", "hf"};
+    config.bisection_budget = std::int64_t{1} << 22;
+
+    const auto result = experiments::run_ratio_experiment(config);
+
+    json.begin_object();
+    json.member("name", pin.name);
+    json.member("alpha_lo", pin.lo);
+    json.member("alpha_hi", pin.hi);
+    json.key("cells");
+    json.begin_array();
+    for (const auto& cell : result.cells) {
+      const double bisections_per_sec =
+          cell.wall_seconds > 0.0
+              ? static_cast<double>(cell.bisections) / cell.wall_seconds
+              : 0.0;
+      json.begin_object(/*inline_mode=*/true);
+      json.member("algo", cell.display);
+      json.member("log2_n", cell.log2_n);
+      json.member("trials", cell.trials);
+      json.member("wall_seconds", cell.wall_seconds);
+      json.member("bisections", cell.bisections);
+      json.member("bisections_per_sec", bisections_per_sec);
+      json.member("mean_ratio", cell.ratio.mean());
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.finish();
+
   std::cout << "perf report written to " << out_path << " (threads = "
             << threads << ", trials <= " << trials << ")\n";
   return 0;

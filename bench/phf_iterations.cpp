@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "core/bounds.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
@@ -17,7 +18,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_phf_iterations(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -12,10 +12,11 @@
 #include <string>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "experiments/timing_experiment.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_runtime_scaling(int argc, char** argv) {
   using namespace lbb;
   using experiments::ParAlgo;
 

@@ -3,10 +3,12 @@
 // alpha-hat ~ U[0.01, 0.5], beta = 1.0, over N = 2^5 ... 2^20.
 //
 // Usage:
-//   table1_ratios                quick mode (reduced trials for huge N)
-//   table1_ratios --full         paper-faithful: 1000 trials everywhere
-//   table1_ratios --trials=200 --seed=9 --lo=0.01 --hi=0.5 --beta=1.0
-//   table1_ratios --threads=8    trials on 8 workers (same output bytes)
+//   lbb_bench table1                quick mode (reduced trials for huge N)
+//   lbb_bench table1 --full         paper-faithful: 1000 trials everywhere
+//   lbb_bench table1 --trials=200 --seed=9 --lo=0.01 --hi=0.5 --beta=1.0
+//   lbb_bench table1 --threads=8    trials on 8 workers (same output bytes)
+//   lbb_bench table1 --algos=hf,oblivious:random   any registered names
+//   lbb_bench table1 --time-limit=30               abort after 30 seconds
 //
 // Expected shape (paper, Table 1): observed ratios far below the ub rows;
 // HF smallest, BA-HF between, BA/BA* largest; HF's average almost constant
@@ -14,12 +16,12 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_table1(int argc, char** argv) {
   using namespace lbb;
-  using experiments::Algo;
 
   const bench::Cli cli(argc, argv);
   experiments::RatioExperimentConfig config;
@@ -29,6 +31,10 @@ int main(int argc, char** argv) {
   config.trials = static_cast<std::int32_t>(cli.get_int("trials", 1000));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   config.threads = cli.threads();
+  config.time_limit_seconds = cli.get_double("time-limit", 0.0);
+  if (const auto algos = cli.get_list("algos"); !algos.empty()) {
+    config.algos = algos;
+  }
   config.log2_n = {5, 8, 11, 14, 17, 20};
   if (cli.flag("full")) {
     config.log2_n = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
@@ -54,11 +60,12 @@ int main(int argc, char** argv) {
   }
   table.set_header(std::move(header));
 
-  for (const Algo algo :
-       {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF}) {
+  for (const std::string& algo : config.algos) {
     table.add_separator();
+    const std::string& display =
+        result.cell(algo, config.log2_n.front()).display;
     auto add = [&](const char* row_name, auto getter) {
-      std::vector<std::string> row = {experiments::algo_name(algo), row_name};
+      std::vector<std::string> row = {display, row_name};
       for (const std::int32_t k : config.log2_n) {
         row.push_back(stats::fmt(getter(result.cell(algo, k)), 3));
       }
@@ -79,7 +86,7 @@ int main(int argc, char** argv) {
   std::cout << "\ntrials per cell:";
   for (const std::int32_t k : config.log2_n) {
     std::cout << "  logN=" << k << ":"
-              << result.cell(Algo::kHF, k).trials;
+              << result.cell(config.algos.front(), k).trials;
   }
   std::cout << "\n";
   return 0;

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
 #include "sim/fault_model.hpp"
@@ -29,7 +30,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main(int argc, char** argv) {
+int lbb::bench::run_topology_ablation(int argc, char** argv) {
   using namespace lbb;
 
   const bench::Cli cli(argc, argv);

@@ -21,5 +21,6 @@
 #include "core/bounds.hpp"   // IWYU pragma: export
 #include "core/hf.hpp"       // IWYU pragma: export
 #include "core/partition.hpp"  // IWYU pragma: export
+#include "core/partitioner.hpp"  // IWYU pragma: export
 #include "core/problem.hpp"  // IWYU pragma: export
 #include "core/split.hpp"    // IWYU pragma: export

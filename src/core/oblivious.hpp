@@ -15,7 +15,7 @@
 //
 // All three perform exactly N-1 bisections, like HF, but choose *which*
 // problem to bisect without looking at weights.  The ablation bench
-// (bench/ablation_oblivious) shows their ratios growing with N while HF's
+// (`lbb_bench ablation_oblivious`) shows their ratios growing with N while HF's
 // stays constant.
 #pragma once
 

@@ -1,0 +1,174 @@
+// RunContext: the per-run spine threaded through core -> sim ->
+// experiments -> bench.
+//
+// Every partitioning run (a registry dispatch, an experiment trial chunk, a
+// simulated execution) carries one RunContext.  It owns
+//
+//   * the RNG stream of the run (seeded; substreams via fork_seed / fork so
+//     parallel chunks stay deterministic and independent),
+//   * a metrics accumulator (RunMetrics) plus an optional MetricsSink for
+//     named counters the core layer cannot know about (the sim layer
+//     reports makespan / messages / collectives / fault accounting through
+//     it),
+//   * an optional trace hook for coarse progress events, and
+//   * a cooperative deadline / cancellation token.
+//
+// Granularity contract: contexts are checked at *run boundaries* (per
+// partition call, per experiment trial), never inside the per-bisection hot
+// loops -- registry and context dispatch must stay off the hot path (the
+// BM_HfPartition guard in bench/micro_core.cpp pins this).  Cancellation is
+// therefore cooperative with trial-level latency.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+#include "stats/rng.hpp"
+
+namespace lbb::core {
+
+/// Thread-safe cooperative cancellation flag.  The owner keeps it alive for
+/// the duration of every run that references it.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Thrown by RunContext::checkpoint() when the run was cancelled or its
+/// deadline passed.  Derives from std::runtime_error so generic harness
+/// error handling reports it cleanly.
+class OperationCancelled : public std::runtime_error {
+ public:
+  explicit OperationCancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Core-layer metrics every run accumulates.  Sim-specific accounting
+/// (SimMetrics) flows through the MetricsSink counters instead, so the core
+/// layer never depends on the sim layer.
+struct RunMetrics {
+  std::int64_t partitions = 0;  ///< partitioning runs completed
+  std::int64_t bisections = 0;  ///< bisection steps across those runs
+
+  void merge(const RunMetrics& other) noexcept {
+    partitions += other.partitions;
+    bisections += other.bisections;
+  }
+};
+
+/// Receiver for named counters from layers above core (sim reports
+/// "sim.makespan", "sim.messages", ... through this).  Implementations are
+/// used from one thread at a time per RunContext; a sink shared between
+/// forked contexts must synchronize itself.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void on_counter(std::string_view key, double value) = 0;
+};
+
+/// The run spine.  Cheap to construct and to fork; movable.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Trace hook: (event name, value).  Called at run boundaries only.
+  using TraceHook = std::function<void(std::string_view, double)>;
+
+  RunContext() : RunContext(0) {}
+  explicit RunContext(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Seed this context was created with (root of its RNG stream).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The context's own RNG stream.  Not shared across threads; use fork()
+  /// to derive independent streams for parallel work.
+  [[nodiscard]] lbb::stats::Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Deterministic substream seed for `salt` (path-hashed, stateless).
+  [[nodiscard]] std::uint64_t fork_seed(std::uint64_t salt) const noexcept {
+    return lbb::stats::mix64(seed_, salt);
+  }
+
+  /// Child context for parallel work unit `salt`: independent RNG stream,
+  /// fresh metrics, same sink / trace / deadline / cancellation.  Merge the
+  /// child's metrics back in deterministic order when the unit completes.
+  [[nodiscard]] RunContext fork(std::uint64_t salt) const {
+    RunContext child(fork_seed(salt));
+    child.sink = sink;
+    child.trace = trace;
+    child.deadline_ = deadline_;
+    child.cancel_ = cancel_;
+    return child;
+  }
+
+  /// Attaches a cancellation token (not owned; may be nullptr to detach).
+  void set_cancel_token(const CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+  [[nodiscard]] const CancelToken* cancel_token() const noexcept {
+    return cancel_;
+  }
+
+  /// Sets the cooperative deadline `seconds` from now (<= 0 clears it).
+  void set_deadline_after(double seconds) {
+    if (seconds <= 0.0) {
+      deadline_.reset();
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_.has_value();
+  }
+
+  /// True if the token fired or the deadline passed.
+  [[nodiscard]] bool cancelled() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    return deadline_.has_value() && Clock::now() > *deadline_;
+  }
+
+  /// Cooperative checkpoint: throws OperationCancelled when cancelled().
+  /// Call between trials / partition runs, never per bisection.
+  void checkpoint() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      throw OperationCancelled("run cancelled");
+    }
+    if (deadline_.has_value() && Clock::now() > *deadline_) {
+      throw OperationCancelled("run deadline exceeded");
+    }
+  }
+
+  /// Emits a trace event if a hook is installed (cheap no-op otherwise).
+  void emit(std::string_view event, double value) const {
+    if (trace) trace(event, value);
+  }
+
+  /// Reports a named counter to the sink, if any.
+  void counter(std::string_view key, double value) const {
+    if (sink != nullptr) sink->on_counter(key, value);
+  }
+
+  RunMetrics metrics;          ///< core accounting, owned by this context
+  MetricsSink* sink = nullptr; ///< optional named-counter sink (not owned)
+  TraceHook trace;             ///< optional coarse progress hook
+
+ private:
+  std::uint64_t seed_ = 0;
+  lbb::stats::Xoshiro256 rng_;
+  std::optional<Clock::time_point> deadline_;
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace lbb::core

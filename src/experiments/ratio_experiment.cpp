@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/lbb.hpp"
+#include "core/partitioner.hpp"
 #include "problems/synthetic.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
@@ -15,6 +18,10 @@
 
 namespace lbb::experiments {
 
+using lbb::core::Partitioner;
+using lbb::core::PartitionerConfig;
+using lbb::core::PartitionerRegistry;
+using lbb::core::RunContext;
 using lbb::problems::AlphaDistribution;
 using lbb::problems::SyntheticProblem;
 
@@ -28,6 +35,20 @@ const char* algo_name(Algo algo) {
       return "BA-HF";
     case Algo::kHF:
       return "HF";
+  }
+  return "?";
+}
+
+const char* algo_key(Algo algo) {
+  switch (algo) {
+    case Algo::kBA:
+      return "ba";
+    case Algo::kBAStar:
+      return "ba_star";
+    case Algo::kBAHF:
+      return "ba_hf";
+    case Algo::kHF:
+      return "hf";
   }
   return "?";
 }
@@ -47,9 +68,11 @@ unsigned resolve_threads(std::int32_t threads) {
 
 namespace {
 
-constexpr std::uint64_t cell_key(Algo algo, std::int32_t log2_n) {
-  return (static_cast<std::uint64_t>(algo) << 32) |
-         static_cast<std::uint32_t>(log2_n);
+std::string cell_key(std::string_view algo, std::int32_t log2_n) {
+  std::string key(algo);
+  key += ':';
+  key += std::to_string(log2_n);
+  return key;
 }
 
 struct TrialOutcome {
@@ -57,55 +80,48 @@ struct TrialOutcome {
   std::int64_t bisections = 0;
 };
 
-TrialOutcome run_trial(Algo algo, std::uint64_t seed,
-                       const AlphaDistribution& dist, std::int32_t n,
-                       double beta) {
+/// One trial through the registry's typed escape hatch (the builtin
+/// families monomorphize on SyntheticProblem exactly like the former
+/// per-algorithm switch); custom partitioners go through the erased
+/// interface.  The context carries the instance seed, so seed-deriving
+/// strategies (oblivious:random, phf:probe) stay deterministic per trial.
+TrialOutcome run_trial(const Partitioner& part, RunContext& ctx,
+                       std::uint64_t seed, const AlphaDistribution& dist,
+                       std::int32_t n) {
   SyntheticProblem root(seed, dist);
-  const double alpha = dist.lower_bound();
-  switch (algo) {
-    case Algo::kBA: {
-      const auto part = lbb::core::ba_partition(root, n);
-      return {part.ratio(), part.bisections};
-    }
-    case Algo::kBAStar: {
-      const auto part = lbb::core::ba_star_partition(root, n, alpha);
-      return {part.ratio(), part.bisections};
-    }
-    case Algo::kBAHF: {
-      const auto part = lbb::core::ba_hf_partition(
-          root, n, lbb::core::BaHfParams{alpha, beta});
-      return {part.ratio(), part.bisections};
-    }
-    case Algo::kHF: {
-      const auto part = lbb::core::hf_partition(root, n);
-      return {part.ratio(), part.bisections};
-    }
+  if (auto typed =
+          lbb::core::try_typed_partition(part, ctx, std::move(root), n)) {
+    return {typed->ratio(), typed->bisections};
   }
-  throw std::invalid_argument("run_trial: bad algorithm");
+  const auto erased =
+      part.run(ctx, lbb::core::AnyProblem(SyntheticProblem(seed, dist)), n);
+  return {erased.ratio(), erased.bisections};
 }
 
-double upper_bound_of(Algo algo, double alpha, double beta, std::int32_t n) {
-  switch (algo) {
-    case Algo::kBA:
-      return lbb::core::ba_ratio_bound(alpha, n);
-    case Algo::kBAStar:
-      return lbb::core::ba_star_ratio_bound(alpha, n);
-    case Algo::kBAHF:
-      return lbb::core::ba_hf_ratio_bound(alpha, beta, n);
-    case Algo::kHF:
-      return lbb::core::hf_ratio_bound(alpha);
+/// Throws core::OperationCancelled when the token fired or the (optional)
+/// absolute deadline passed.  Called between trials.
+void ensure_alive(
+    const lbb::core::CancelToken* cancel,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw lbb::core::OperationCancelled("ratio experiment cancelled");
   }
-  throw std::invalid_argument("upper_bound_of: bad algorithm");
+  if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+    throw lbb::core::OperationCancelled("ratio experiment deadline exceeded");
+  }
 }
 
 }  // namespace
 
 double ratio_of(Algo algo, std::uint64_t seed, const AlphaDistribution& dist,
                 std::int32_t n, double beta) {
-  return run_trial(algo, seed, dist, n, beta).ratio;
+  const auto part = PartitionerRegistry::instance().create(
+      algo_key(algo), PartitionerConfig{dist.lower_bound(), beta, 0, {}});
+  RunContext ctx(seed);
+  return run_trial(*part, ctx, seed, dist, n).ratio;
 }
 
-const RatioCell& RatioExperimentResult::cell(Algo algo,
+const RatioCell& RatioExperimentResult::cell(std::string_view algo,
                                              std::int32_t log2_n) const {
   if (!cell_index.empty()) {
     const auto it = cell_index.find(cell_key(algo, log2_n));
@@ -118,6 +134,11 @@ const RatioCell& RatioExperimentResult::cell(Algo algo,
     if (c.algo == algo && c.log2_n == log2_n) return c;
   }
   throw std::out_of_range("RatioExperimentResult::cell: no such cell");
+}
+
+const RatioCell& RatioExperimentResult::cell(Algo algo,
+                                             std::int32_t log2_n) const {
+  return cell(std::string_view(algo_key(algo)), log2_n);
 }
 
 void RatioExperimentResult::rebuild_index() {
@@ -134,7 +155,7 @@ void write_ratio_csv(const RatioExperimentResult& result,
   csv.set_header({"algo", "log2_n", "trials", "upper_bound", "min", "mean",
                   "max", "stddev"});
   for (const RatioCell& cell : result.cells) {
-    csv.add_row({algo_name(cell.algo), std::to_string(cell.log2_n),
+    csv.add_row({cell.display, std::to_string(cell.log2_n),
                  std::to_string(cell.trials), std::to_string(cell.upper_bound),
                  std::to_string(cell.ratio.min()),
                  std::to_string(cell.ratio.mean()),
@@ -158,11 +179,30 @@ RatioExperimentResult run_ratio_experiment(
   result.config = config;
   const double alpha = config.dist.lower_bound();
 
+  // Resolve every algorithm up front: unknown names fail before any trial
+  // runs, and each partitioner is instantiated exactly once (they are
+  // stateless and safe to share across worker threads).
+  const auto& registry = PartitionerRegistry::instance();
+  std::vector<std::unique_ptr<Partitioner>> partitioners;
+  partitioners.reserve(config.algos.size());
+  for (const std::string& name : config.algos) {
+    partitioners.push_back(registry.create(
+        name, PartitionerConfig{alpha, config.beta, 0, {}}));
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (config.time_limit_seconds > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(config.time_limit_seconds));
+  }
+
   const unsigned threads = detail::resolve_threads(config.threads);
   std::optional<lbb::runtime::ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
 
-  for (const Algo algo : config.algos) {
+  for (std::size_t a = 0; a < config.algos.size(); ++a) {
+    const Partitioner& part = *partitioners[a];
     for (const std::int32_t k : config.log2_n) {
       const std::int32_t n = 1 << k;
       std::int32_t trials = config.trials;
@@ -173,10 +213,11 @@ RatioExperimentResult run_ratio_experiment(
         trials = std::min(trials, cap);
       }
       RatioCell cell;
-      cell.algo = algo;
+      cell.algo = config.algos[a];
+      cell.display = part.info().display;
       cell.log2_n = k;
       cell.trials = trials;
-      cell.upper_bound = upper_bound_of(algo, alpha, config.beta, n);
+      cell.upper_bound = part.ratio_bound(n);
 
       // Fan the trials out in fixed chunks of kTrialChunk.  Chunking and
       // the merge order below depend only on `trials`, so the cell is
@@ -192,12 +233,15 @@ RatioExperimentResult run_ratio_experiment(
         lbb::stats::RunningStats local;
         std::int64_t bisections = 0;
         for (std::int64_t t = lo; t < hi; ++t) {
+          ensure_alive(config.cancel, deadline);
           // Instance seed depends on the trial only: all algorithms and all
           // N share instances where possible (paired comparison).
           const std::uint64_t instance_seed =
               lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+          RunContext ctx(instance_seed);
+          ctx.set_cancel_token(config.cancel);
           const TrialOutcome outcome =
-              run_trial(algo, instance_seed, config.dist, n, config.beta);
+              run_trial(part, ctx, instance_seed, config.dist, n);
           local.add(outcome.ratio);
           bisections += outcome.bisections;
         }

@@ -10,6 +10,15 @@
 // All algorithms see the *same* instances (path-hashed randomness), so the
 // comparisons are paired exactly as in the paper.
 //
+// Algorithm selection goes through the core PartitionerRegistry: an
+// experiment names its algorithms by registry key ("hf", "ba", "ba_star",
+// "ba_hf", "oblivious:random", ...) and the engine instantiates each once
+// per configuration.  Trials run through the registry's *typed escape
+// hatch* (core::try_typed_partition on SyntheticProblem), so the builtin
+// families keep the monomorphized hot paths; custom registered algorithms
+// automatically fall back to the type-erased interface.  The legacy `Algo`
+// enum remains as names for the paper's comparison set.
+//
 // Parallel execution: trials are independent by construction (instance
 // seeds are path-hashed from (config.seed, trial index)), so the engine
 // fans them out over a thread pool in FIXED chunks of kTrialChunk trials
@@ -18,27 +27,39 @@
 // trial count -- never on the thread count -- so the resulting cells (and
 // any CSV written from them) are BYTE-IDENTICAL for every `threads`
 // setting, including the sequential threads = 1 path.
+//
+// Cancellation: attach a core::CancelToken and/or a time limit; the engine
+// checkpoints between trials and aborts the whole run with
+// core::OperationCancelled (no partial results, so a run that completes is
+// bit-identical whether or not a token was attached).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "problems/alpha_dist.hpp"
 #include "stats/summary.hpp"
 
 namespace lbb::experiments {
 
-/// Algorithms of the paper's experimental comparison.
+/// Algorithms of the paper's experimental comparison (convenience handles
+/// for the registry keys below; any registered partitioner name works).
 enum class Algo {
-  kBA,      ///< Algorithm BA
-  kBAStar,  ///< Algorithm BA' ("BA*" in Table 1)
-  kBAHF,    ///< Algorithm BA-HF
-  kHF,      ///< Algorithm HF (== PHF's partition)
+  kBA,      ///< Algorithm BA        -- registry key "ba"
+  kBAStar,  ///< Algorithm BA' ("BA*" in Table 1) -- key "ba_star"
+  kBAHF,    ///< Algorithm BA-HF     -- registry key "ba_hf"
+  kHF,      ///< Algorithm HF (== PHF's partition) -- key "hf"
 };
 
+/// Display name ("BA", "BA*", "BA-HF", "HF").
 [[nodiscard]] const char* algo_name(Algo algo);
+
+/// Registry key ("ba", "ba_star", "ba_hf", "hf").
+[[nodiscard]] const char* algo_key(Algo algo);
 
 namespace detail {
 /// Maps a config's `threads` knob to a worker count: 1 = sequential,
@@ -59,7 +80,8 @@ struct RatioExperimentConfig {
   std::vector<std::int32_t> log2_n = {5, 10, 15, 20};
   std::int32_t trials = 1000;
   std::uint64_t seed = 1;
-  std::vector<Algo> algos = {Algo::kBA, Algo::kBAStar, Algo::kBAHF, Algo::kHF};
+  /// Partitioner registry keys to compare (default: the paper's set).
+  std::vector<std::string> algos = {"ba", "ba_star", "ba_hf", "hf"};
   /// If > 0, trials for large N are reduced so that trials * N does not
   /// exceed this budget (per algorithm and cell); sample variance in this
   /// model is tiny (the paper makes the same observation), so the means
@@ -71,16 +93,22 @@ struct RatioExperimentConfig {
   /// 0 = one per hardware thread, k = exactly k.  Results are identical
   /// for every value -- see the determinism note at the top of this file.
   std::int32_t threads = 1;
+  /// Optional cooperative cancellation (not owned; may be nullptr).
+  const lbb::core::CancelToken* cancel = nullptr;
+  /// Optional wall-clock limit in seconds (<= 0: none).  On expiry the
+  /// run throws core::OperationCancelled.
+  double time_limit_seconds = 0.0;
 };
 
 /// Observed statistics of one (algorithm, N) cell.
 struct RatioCell {
-  Algo algo{};
+  std::string algo;          ///< registry key, e.g. "ba_hf"
+  std::string display;       ///< table/CSV label, e.g. "BA-HF"
   std::int32_t log2_n = 0;
   std::int32_t trials = 0;
-  double upper_bound = 0.0;  ///< worst-case ratio from the theorems
+  double upper_bound = 0.0;  ///< worst-case ratio bound (0 if unknown)
   lbb::stats::RunningStats ratio;
-  // Performance accounting (bench/perf_report); not part of the CSV.
+  // Performance accounting (the perf_report experiment); not in the CSV.
   double wall_seconds = 0.0;    ///< wall-clock spent computing this cell
   std::int64_t bisections = 0;  ///< total bisections over all trials
 };
@@ -89,13 +117,16 @@ struct RatioCell {
 struct RatioExperimentResult {
   RatioExperimentConfig config;
   std::vector<RatioCell> cells;
-  /// (algo, log2_n) -> index into `cells`; kept by run_ratio_experiment so
+  /// "algo:log2_n" -> index into `cells`; kept by run_ratio_experiment so
   /// cell() is O(1).  Call rebuild_index() after editing `cells` by hand.
-  std::unordered_map<std::uint64_t, std::size_t> cell_index;
+  std::unordered_map<std::string, std::size_t> cell_index;
 
-  /// The cell for (algo, log2_n); throws std::out_of_range if absent.
+  /// The cell for (algo key, log2_n); throws std::out_of_range if absent.
   /// O(1) via cell_index when it is populated; falls back to a linear scan
   /// on hand-assembled results.
+  [[nodiscard]] const RatioCell& cell(std::string_view algo,
+                                      std::int32_t log2_n) const;
+  /// Convenience overload for the paper's comparison set.
   [[nodiscard]] const RatioCell& cell(Algo algo, std::int32_t log2_n) const;
 
   /// Rebuilds cell_index from `cells`.
@@ -104,6 +135,8 @@ struct RatioExperimentResult {
 
 /// Runs the experiment.  Deterministic in `config.seed`: for any
 /// `config.threads` the result (and CSV serialization) is byte-identical.
+/// Unknown algo keys raise core::UnknownPartitionerError before any trial
+/// runs.
 [[nodiscard]] RatioExperimentResult run_ratio_experiment(
     const RatioExperimentConfig& config);
 

@@ -1,18 +1,26 @@
 #include "experiments/timing_experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 
+#include "core/partitioner.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "problems/synthetic.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
-#include "sim/par_ba.hpp"
+#include "sim/partitioners.hpp"
 #include "stats/rng.hpp"
 
 namespace lbb::experiments {
 
+using lbb::core::AnyProblem;
+using lbb::core::Partitioner;
+using lbb::core::PartitionerConfig;
+using lbb::core::RunContext;
 using lbb::problems::SyntheticProblem;
 
 const char* par_algo_name(ParAlgo algo) {
@@ -33,6 +41,24 @@ const char* par_algo_name(ParAlgo algo) {
   return "?";
 }
 
+const char* par_algo_key(ParAlgo algo) {
+  switch (algo) {
+    case ParAlgo::kPHFOracle:
+      return "phf:oracle";
+    case ParAlgo::kPHFBaPrime:
+      return "phf:ba_prime";
+    case ParAlgo::kPHFProbe:
+      return "phf:probe";
+    case ParAlgo::kBA:
+      return "sim:ba";
+    case ParAlgo::kBAHF:
+      return "sim:ba_hf";
+    case ParAlgo::kSeqHF:
+      return "hf";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr std::uint64_t timing_cell_key(ParAlgo algo, std::int32_t log2_n) {
@@ -40,41 +66,26 @@ constexpr std::uint64_t timing_cell_key(ParAlgo algo, std::int32_t log2_n) {
          static_cast<std::uint32_t>(log2_n);
 }
 
-lbb::sim::SimMetrics simulate_trial(ParAlgo algo, std::uint64_t instance_seed,
-                                    const TimingExperimentConfig& config,
-                                    double alpha, std::int32_t n) {
-  SyntheticProblem root(instance_seed, config.dist);
-  lbb::sim::SimMetrics metrics;
-  switch (algo) {
-    case ParAlgo::kPHFOracle: {
-      lbb::sim::PhfSimOptions opt;
-      opt.manager = lbb::sim::FreeProcManager::kOracle;
-      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
+/// Captures the timing-relevant sink counters of one simulated execution.
+class TimingSink final : public lbb::core::MetricsSink {
+ public:
+  void on_counter(std::string_view key, double value) override {
+    if (key == "sim.makespan") {
+      makespan = value;
+    } else if (key == "sim.messages") {
+      messages = value;
+    } else if (key == "sim.collective_ops") {
+      collective_ops = value;
+    } else if (key == "sim.phase2_iterations") {
+      phase2_iterations = value;
     }
-    case ParAlgo::kPHFBaPrime: {
-      lbb::sim::PhfSimOptions opt;
-      opt.manager = lbb::sim::FreeProcManager::kBaPrime;
-      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
-    }
-    case ParAlgo::kPHFProbe: {
-      lbb::sim::PhfSimOptions opt;
-      opt.manager = lbb::sim::FreeProcManager::kRandomProbe;
-      opt.probe_seed = instance_seed;
-      return lbb::sim::phf_simulate(root, n, alpha, config.cost, opt).metrics;
-    }
-    case ParAlgo::kBA:
-      return lbb::sim::ba_simulate(root, n, config.cost).metrics;
-    case ParAlgo::kBAHF:
-      return lbb::sim::ba_hf_simulate(root, n, alpha, config.beta, config.cost)
-          .metrics;
-    case ParAlgo::kSeqHF:
-      metrics.makespan = sequential_hf_time(n, config.cost);
-      metrics.messages = n - 1;
-      metrics.collective_ops = 0;
-      return metrics;
   }
-  throw std::invalid_argument("simulate_trial: bad algorithm");
-}
+
+  double makespan = 0.0;
+  double messages = 0.0;
+  double collective_ops = 0.0;
+  double phase2_iterations = 0.0;
+};
 
 /// Per-chunk accumulator mirroring TimingCell's statistics fields.
 struct ChunkStats {
@@ -83,6 +94,18 @@ struct ChunkStats {
   lbb::stats::RunningStats collective_ops;
   lbb::stats::RunningStats phase2_iterations;
 };
+
+void ensure_alive(
+    const lbb::core::CancelToken* cancel,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw lbb::core::OperationCancelled("timing experiment cancelled");
+  }
+  if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+    throw lbb::core::OperationCancelled(
+        "timing experiment deadline exceeded");
+  }
+}
 
 }  // namespace
 
@@ -120,11 +143,38 @@ TimingExperimentResult run_timing_experiment(
   result.config = config;
   const double alpha = config.dist.lower_bound();
 
+  // Resolve each simulated execution through the sim partitioner factory
+  // (explicit cost model); kSeqHF is analytic and keeps a null slot.  A
+  // partitioner is created once per algorithm and shared across worker
+  // threads (stateless after construction); seed 0 makes the probing
+  // manager follow each trial's context seed, reproducing the historical
+  // probe_seed = instance_seed behavior.
+  std::vector<std::unique_ptr<Partitioner>> partitioners;
+  partitioners.reserve(config.algos.size());
+  for (const ParAlgo algo : config.algos) {
+    if (algo == ParAlgo::kSeqHF) {
+      partitioners.push_back(nullptr);
+      continue;
+    }
+    partitioners.push_back(lbb::sim::make_sim_partitioner(
+        par_algo_key(algo), PartitionerConfig{alpha, config.beta, 0, {}},
+        config.cost));
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (config.time_limit_seconds > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(config.time_limit_seconds));
+  }
+
   const unsigned threads = detail::resolve_threads(config.threads);
   std::optional<lbb::runtime::ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
 
-  for (const ParAlgo algo : config.algos) {
+  for (std::size_t a = 0; a < config.algos.size(); ++a) {
+    const ParAlgo algo = config.algos[a];
+    const Partitioner* part = partitioners[a].get();
     for (const std::int32_t k : config.log2_n) {
       const std::int32_t n = 1 << k;
       TimingCell cell;
@@ -139,16 +189,26 @@ TimingExperimentResult run_timing_experiment(
                                  std::int64_t hi) {
         ChunkStats local;
         for (std::int64_t t = lo; t < hi; ++t) {
+          ensure_alive(config.cancel, deadline);
           const std::uint64_t instance_seed =
               lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
-          const lbb::sim::SimMetrics metrics =
-              simulate_trial(algo, instance_seed, config, alpha, n);
-          local.makespan.add(metrics.makespan);
-          local.messages.add(static_cast<double>(metrics.messages));
-          local.collective_ops.add(
-              static_cast<double>(metrics.collective_ops));
-          local.phase2_iterations.add(
-              static_cast<double>(metrics.phase2_iterations));
+          TimingSink sink;
+          if (part != nullptr) {
+            RunContext ctx(instance_seed);
+            ctx.set_cancel_token(config.cancel);
+            ctx.sink = &sink;
+            (void)part->run(
+                ctx, AnyProblem(SyntheticProblem(instance_seed, config.dist)),
+                n);
+          } else {
+            // kSeqHF: analytic model, no simulated execution.
+            sink.makespan = sequential_hf_time(n, config.cost);
+            sink.messages = static_cast<double>(n - 1);
+          }
+          local.makespan.add(sink.makespan);
+          local.messages.add(sink.messages);
+          local.collective_ops.add(sink.collective_ops);
+          local.phase2_iterations.add(sink.phase2_iterations);
         }
         chunk_stats[static_cast<std::size_t>(chunk)] = local;
       };

@@ -2,12 +2,20 @@
 // the Section-5 discussion): parallel makespan, message counts, and
 // collective-operation counts of PHF / BA / BA-HF versus N, next to the
 // Theta(N) time of sequential HF.
+//
+// Simulated executions are resolved through the partitioner registry's sim
+// entries (sim::make_sim_partitioner, so the experiment's CostModel
+// applies) and their metrics come back through the RunContext metrics-sink
+// counters ("sim.makespan" & co.) -- the same pipe every other consumer of
+// the sim partitioners uses.  kSeqHF stays an analytic model (no
+// simulation runs; see sequential_hf_time).
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "problems/alpha_dist.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
@@ -26,7 +34,12 @@ enum class ParAlgo {
   kSeqHF,       ///< sequential HF on P_1 (analytic model)
 };
 
+/// Display name ("PHF(oracle)", ..., "HF(seq)").
 [[nodiscard]] const char* par_algo_name(ParAlgo algo);
+
+/// Registry key ("phf:oracle", ..., "sim:ba_hf"); kSeqHF has no simulated
+/// execution and maps to "hf" (its partition; the time is analytic).
+[[nodiscard]] const char* par_algo_key(ParAlgo algo);
 
 struct TimingExperimentConfig {
   lbb::problems::AlphaDistribution dist =
@@ -44,6 +57,13 @@ struct TimingExperimentConfig {
   /// experiment, trials run in fixed chunks and their statistics merge in
   /// chunk order, so results are identical for every thread count.
   std::int32_t threads = 1;
+  /// Optional cooperative cancellation (not owned; may be nullptr).  The
+  /// engine checkpoints between trials and aborts the whole run with
+  /// core::OperationCancelled.
+  const lbb::core::CancelToken* cancel = nullptr;
+  /// Optional wall-clock limit in seconds (<= 0: none); expiry raises
+  /// core::OperationCancelled.
+  double time_limit_seconds = 0.0;
 };
 
 /// Per-(algo, N) aggregated metrics.

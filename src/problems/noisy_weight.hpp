@@ -8,7 +8,7 @@
 // the true weight stays accessible for evaluating the realized balance.
 // Conservation holds for the *true* weights; the noisy weights are what
 // HF ranks by and BA splits processors by, so growing epsilon degrades
-// the achieved (true) ratio -- quantified by bench/noise_robustness.
+// the achieved (true) ratio -- quantified by `lbb_bench noise_robustness`.
 #pragma once
 
 #include <cstdint>

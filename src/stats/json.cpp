@@ -1,0 +1,116 @@
+#include "stats/json.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace lbb::stats {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(std::string_view k) {
+  prepare_item();
+  os_ << '"';
+  write_escaped(k);
+  os_ << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  prepare_item();
+  os_ << '"';
+  write_escaped(v);
+  os_ << '"';
+}
+
+void JsonWriter::value(double v) {
+  prepare_item();
+  std::ostringstream tmp;
+  tmp << std::setprecision(17) << v;
+  os_ << tmp.str();
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prepare_item();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  prepare_item();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::finish() {
+  os_ << '\n';
+}
+
+void JsonWriter::begin(char opener, bool inline_mode) {
+  prepare_item();
+  os_ << opener;
+  stack_.push_back(
+      Frame{static_cast<char>(opener == '{' ? '}' : ']'), inline_mode});
+}
+
+void JsonWriter::end(char closer) {
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (!frame.inline_mode && frame.has_items) newline_indent();
+  os_ << closer;
+}
+
+void JsonWriter::prepare_item() {
+  if (pending_key_) {
+    // The comma/indent ran when the key was emitted.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Frame& frame = stack_.back();
+  if (frame.has_items) os_ << (frame.inline_mode ? ", " : ",");
+  if (!frame.inline_mode) newline_indent();
+  frame.has_items = true;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << json_escape(s);
+}
+
+}  // namespace lbb::stats

@@ -1,6 +1,8 @@
 // Tests for the Section-4 experiment harness (ratio + timing experiments).
 #include <gtest/gtest.h>
 
+#include "core/partitioner.hpp"
+#include "core/run_context.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "experiments/timing_experiment.hpp"
 
@@ -50,7 +52,7 @@ TEST(RatioExperiment, ObservedAlwaysWithinUpperBound) {
   const auto result = run_ratio_experiment(config);
   for (const auto& cell : result.cells) {
     EXPECT_LE(cell.ratio.max(), cell.upper_bound + 1e-9)
-        << algo_name(cell.algo) << " logN=" << cell.log2_n;
+        << cell.algo << " logN=" << cell.log2_n;
   }
 }
 
@@ -234,15 +236,40 @@ TEST(RatioExperimentParallel, PerfCountersPopulated) {
     const std::int64_t full =
         static_cast<std::int64_t>(cell.trials) *
         ((std::int64_t{1} << cell.log2_n) - 1);
-    if (cell.algo == Algo::kBAStar) {
+    if (cell.algo == "ba_star") {
       EXPECT_GT(cell.bisections, 0);
       EXPECT_LE(cell.bisections, full);
     } else {
       EXPECT_EQ(cell.bisections, full)
-          << algo_name(cell.algo) << " logN=" << cell.log2_n;
+          << cell.algo << " logN=" << cell.log2_n;
     }
     EXPECT_GE(cell.wall_seconds, 0.0);
   }
+}
+
+TEST(RatioExperiment, UnknownAlgoRejectedBeforeAnyTrialRuns) {
+  auto config = threaded_config(1);
+  config.algos = {"hf", "definitely_not_registered"};
+  EXPECT_THROW(run_ratio_experiment(config),
+               lbb::core::UnknownPartitionerError);
+}
+
+TEST(RatioExperiment, PreCancelledTokenAbortsRun) {
+  auto config = threaded_config(2);
+  lbb::core::CancelToken token;
+  token.cancel();
+  config.cancel = &token;
+  EXPECT_THROW(run_ratio_experiment(config), lbb::core::OperationCancelled);
+}
+
+TEST(TimingExperiment, PreCancelledTokenAbortsRun) {
+  TimingExperimentConfig config;
+  config.log2_n = {6};
+  config.trials = 3;
+  lbb::core::CancelToken token;
+  token.cancel();
+  config.cancel = &token;
+  EXPECT_THROW(run_timing_experiment(config), lbb::core::OperationCancelled);
 }
 
 TEST(TimingExperimentParallel, CellStatsBitIdenticalAcrossThreadCounts) {

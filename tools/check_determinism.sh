@@ -1,12 +1,13 @@
 #!/bin/sh
 # Thread-count determinism gate for the parallel experiment engine.
 #
-# Runs table1_ratios on a small grid at --threads=1, 2 and 8 and requires
-# the CSVs to be byte-identical, then smoke-checks that perf_report emits a
-# well-formed BENCH_ratio_experiment.json.  Pure output comparison -- no
-# wall-clock assertions, so it is safe on loaded or single-core CI runners.
+# Runs `lbb_bench table1` on a small grid at --threads=1, 2 and 8 and
+# requires the CSVs to be byte-identical, then smoke-checks that
+# `lbb_bench perf_report` emits a well-formed BENCH_ratio_experiment.json.
+# Pure output comparison -- no wall-clock assertions, so it is safe on
+# loaded or single-core CI runners.
 #
-# Usage: check_determinism.sh <table1_ratios-binary> <perf_report-binary>
+# Usage: check_determinism.sh <lbb_bench-binary>
 #
 # Sanitizer workflow (catches the UB this gate cannot): the CMake presets
 # asan / ubsan / tsan configure sanitized builds via -DLBB_SANITIZE=..., and
@@ -21,17 +22,16 @@
 # degraded simulations that this script asserts for the experiment engine.
 set -eu
 
-TABLE1=${1:?usage: check_determinism.sh <table1_ratios> <perf_report>}
-PERF=${2:?usage: check_determinism.sh <table1_ratios> <perf_report>}
+LBB=${1:?usage: check_determinism.sh <lbb_bench-binary>}
 
 TMPDIR_DET=$(mktemp -d "${TMPDIR:-/tmp}/lbb_determinism.XXXXXX")
 trap 'rm -rf "$TMPDIR_DET"' EXIT
 
 ARGS="--trials=48 --budget=1048576 --seed=9"
 
-echo "== CSV determinism: table1_ratios $ARGS at threads=1,2,8 =="
+echo "== CSV determinism: lbb_bench table1 $ARGS at threads=1,2,8 =="
 for t in 1 2 8; do
-  "$TABLE1" $ARGS --threads=$t --csv="$TMPDIR_DET/t$t.csv" > /dev/null
+  "$LBB" table1 $ARGS --threads=$t --csv="$TMPDIR_DET/t$t.csv" > /dev/null
 done
 for t in 2 8; do
   if ! cmp -s "$TMPDIR_DET/t1.csv" "$TMPDIR_DET/t$t.csv"; then
@@ -44,7 +44,7 @@ done
 
 echo "== perf_report smoke =="
 REPORT="$TMPDIR_DET/BENCH_ratio_experiment.json"
-"$PERF" --trials=16 --threads=2 --out="$REPORT" > /dev/null
+"$LBB" perf_report --trials=16 --threads=2 --out="$REPORT" > /dev/null
 for key in '"benchmark": "ratio_experiment"' '"threads": 2' \
            '"wall_seconds"' '"bisections_per_sec"' '"algo"'; do
   if ! grep -q "$key" "$REPORT"; then
