@@ -11,11 +11,13 @@
 
 #include "core/hf.hpp"
 #include "core/lbb.hpp"
+#include "core/workspace.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/fe_tree.hpp"
 #include "problems/grid_domain.hpp"
 #include "problems/pivot_list.hpp"
 #include "problems/synthetic.hpp"
+#include "stats/alloc_stats.hpp"
 
 namespace {
 
@@ -51,6 +53,84 @@ void BM_BaHfPartition(benchmark::State& state) {
     benchmark::DoNotOptimize(part.pieces.data());
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+
+/// Attaches allocations-per-iteration and allocations-per-bisection
+/// counters to a partitioning benchmark (live because lbb_bench links the
+/// allocation probe; harmless zeros otherwise).
+void set_alloc_counters(benchmark::State& state,
+                        const lbb::stats::AllocStats& delta, std::int32_t n) {
+  const auto iters = static_cast<double>(state.iterations());
+  if (iters <= 0.0) return;
+  const double per_iter = static_cast<double>(delta.count) / iters;
+  state.counters["allocs_per_op"] = per_iter;
+  state.counters["allocs_per_bisection"] =
+      n > 1 ? per_iter / static_cast<double>(n - 1) : 0.0;
+}
+
+// Workspace variants of the partition benchmarks: the steady-state hot
+// path of the experiment engine (warm TrialWorkspace, pieces recycled).
+// The allocs_per_op counter reads 0 here -- the `perf` ctest gate asserts
+// exactly that -- while the workspace-free variants above pay the
+// per-call scratch allocations.
+void BM_HfPartitionWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  lbb::core::TrialWorkspace<SyntheticProblem> ws;
+  ws.recycle(lbb::core::hf_partition(ws, p, n));  // warm-up
+  const auto before = lbb::stats::alloc_stats();
+  for (auto _ : state) {
+    auto part = lbb::core::hf_partition(ws, p, n);
+    benchmark::DoNotOptimize(part.pieces.data());
+    ws.recycle(std::move(part));
+  }
+  set_alloc_counters(state, lbb::stats::alloc_stats() - before, n);
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+
+void BM_BaPartitionWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  lbb::core::TrialWorkspace<SyntheticProblem> ws;
+  ws.recycle(lbb::core::ba_partition(ws, p, n));  // warm-up
+  const auto before = lbb::stats::alloc_stats();
+  for (auto _ : state) {
+    auto part = lbb::core::ba_partition(ws, p, n);
+    benchmark::DoNotOptimize(part.pieces.data());
+    ws.recycle(std::move(part));
+  }
+  set_alloc_counters(state, lbb::stats::alloc_stats() - before, n);
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+
+void BM_BaHfPartitionWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  const lbb::core::BaHfParams params{0.1, 1.0};
+  lbb::core::TrialWorkspace<SyntheticProblem> ws;
+  ws.recycle(lbb::core::ba_hf_partition(ws, p, n, params));  // warm-up
+  const auto before = lbb::stats::alloc_stats();
+  for (auto _ : state) {
+    auto part = lbb::core::ba_hf_partition(ws, p, n, params);
+    benchmark::DoNotOptimize(part.pieces.data());
+    ws.recycle(std::move(part));
+  }
+  set_alloc_counters(state, lbb::stats::alloc_stats() - before, n);
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+
+// Erased bisect on the small-buffer path: both children are constructed
+// in place inside the child handles (no heap traffic; the allocs_per_op
+// counter pins it).
+void BM_AnyProblemBisect(benchmark::State& state) {
+  const SyntheticProblem p(1, AlphaDistribution::uniform(0.1, 0.5));
+  const auto before = lbb::stats::alloc_stats();
+  for (auto _ : state) {
+    lbb::core::AnyProblem erased{SyntheticProblem(p)};
+    auto children = erased.bisect();
+    benchmark::DoNotOptimize(children.first.weight());
+  }
+  set_alloc_counters(state, lbb::stats::alloc_stats() - before, 2);
 }
 
 void BM_HfWithTreeRecording(benchmark::State& state) {
@@ -152,6 +232,19 @@ void register_micro_core_benchmarks() {
   benchmark::RegisterBenchmark("BM_BaHfPartition", BM_BaHfPartition)
       ->RangeMultiplier(8)
       ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_HfPartitionWorkspace",
+                               BM_HfPartitionWorkspace)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_BaPartitionWorkspace",
+                               BM_BaPartitionWorkspace)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_BaHfPartitionWorkspace",
+                               BM_BaHfPartitionWorkspace)
+      ->RangeMultiplier(8)
+      ->Range(64, 1 << 15);
+  benchmark::RegisterBenchmark("BM_AnyProblemBisect", BM_AnyProblemBisect);
   benchmark::RegisterBenchmark("BM_HfWithTreeRecording", BM_HfWithTreeRecording)
       ->Arg(4096);
   benchmark::RegisterBenchmark("BM_HfHeapPushPop", BM_HfHeapPushPop)

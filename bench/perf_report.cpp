@@ -17,6 +17,7 @@
 #include "bench/bench_cli.hpp"
 #include "bench/experiment_registry.hpp"
 #include "experiments/ratio_experiment.hpp"
+#include "stats/alloc_stats.hpp"
 #include "stats/json.hpp"
 
 int lbb::bench::run_perf_report(int argc, char** argv) {
@@ -48,6 +49,9 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
   json.member("benchmark", "ratio_experiment");
   json.member("threads", threads);
   json.member("trials", trials);
+  // lbb_bench links the interposing allocation probe, so the alloc_* cell
+  // members below are live; they read 0 in a binary without the probe.
+  json.member("alloc_probe", stats::alloc_probe_linked());
   json.key("experiments");
   json.begin_array();
 
@@ -78,10 +82,18 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
       json.member("algo", cell.display);
       json.member("log2_n", cell.log2_n);
       json.member("trials", cell.trials);
+      const double allocs_per_bisection =
+          cell.bisections > 0
+              ? static_cast<double>(cell.alloc_count) /
+                    static_cast<double>(cell.bisections)
+              : 0.0;
       json.member("wall_seconds", cell.wall_seconds);
       json.member("bisections", cell.bisections);
       json.member("bisections_per_sec", bisections_per_sec);
       json.member("mean_ratio", cell.ratio.mean());
+      json.member("alloc_count", cell.alloc_count);
+      json.member("alloc_bytes", cell.alloc_bytes);
+      json.member("allocs_per_bisection", allocs_per_bisection);
       json.end_object();
     }
     json.end_array();

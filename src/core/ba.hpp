@@ -11,43 +11,43 @@
 // never bisected (their processors beyond the first stay idle).  It is used
 // by PHF's phase-1 free-processor management and appears as "BA*" in the
 // experimental tables.
+//
+// Memory: the recursion stack lives in a TrialWorkspace (ws.frames) so the
+// experiment engine reuses it across trials; workspace-free overloads run
+// on a cold workspace and are byte-identical in output.
 #pragma once
 
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "core/bounds.hpp"
 #include "core/detail/build_context.hpp"
+#include "core/detail/scratch.hpp"
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "core/workspace.hpp"
 
 namespace lbb::core {
 
 namespace detail {
 
-/// Iterative (explicit-stack) BA recursion shared by BA, BA', and BA-HF.
+/// Iterative (explicit-stack) BA recursion shared by BA and BA'.
 /// `prune_below`: if >= 0, subproblems of weight <= prune_below are emitted
 /// as leaves even when they hold more than one processor (Algorithm BA').
+/// The stack buffer is ws.frames, cleared on entry.
 template <Bisectable P>
-void ba_run(BuildContext<P>& ctx, P problem, std::int32_t n,
-            ProcessorId proc_lo, std::int32_t depth0, NodeId node0,
-            double prune_below) {
-  struct Frame {
-    P problem;
-    double weight;
-    std::int32_t n;
-    ProcessorId proc_lo;
-    std::int32_t depth;
-    NodeId node;
-  };
-  std::vector<Frame> stack;
-  stack.push_back(Frame{std::move(problem), 0.0, n, proc_lo, depth0, node0});
+void ba_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+            std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
+            NodeId node0, double prune_below) {
+  auto& stack = ws.frames;
+  stack.clear();
+  stack.push_back(
+      BaFrame<P>{std::move(problem), 0.0, n, proc_lo, depth0, node0});
   stack.back().weight = stack.back().problem.weight();
 
   while (!stack.empty()) {
-    Frame f = std::move(stack.back());
+    BaFrame<P> f = std::move(stack.back());
     stack.pop_back();
     if (f.n == 1 || (prune_below >= 0.0 && f.weight <= prune_below)) {
       ctx.piece(std::move(f.problem), f.weight, f.proc_lo, f.depth, f.node);
@@ -66,52 +66,73 @@ void ba_run(BuildContext<P>& ctx, P problem, std::int32_t n,
     const std::int32_t depth = f.depth + 1;
     // Heavier child keeps the low end of the processor range (the paper's
     // "p1 stays on P_i, p2 is sent to P_{i+n1}").
-    stack.push_back(Frame{std::move(right), wr, n2,
-                          f.proc_lo + static_cast<ProcessorId>(n1), depth,
-                          node_r});
-    stack.push_back(Frame{std::move(left), wl, n1, f.proc_lo, depth, node_l});
+    stack.push_back(BaFrame<P>{std::move(right), wr, n2,
+                               f.proc_lo + static_cast<ProcessorId>(n1), depth,
+                               node_r});
+    stack.push_back(
+        BaFrame<P>{std::move(left), wl, n1, f.proc_lo, depth, node_l});
   }
 }
 
 }  // namespace detail
 
-/// Partitions `problem` into exactly `n` subproblems with Algorithm BA.
-/// BA needs no knowledge of alpha.
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA,
+/// drawing scratch and output storage from `ws`.  BA needs no knowledge of
+/// alpha.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_partition(P problem, std::int32_t n,
+[[nodiscard]] Partition<P> ba_partition(TrialWorkspace<P>& ws, P problem,
+                                        std::int32_t n,
                                         const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_partition: n must be >= 1");
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
-  out.pieces.reserve(static_cast<std::size_t>(n));
+  out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
-  detail::ba_run(ctx, std::move(problem), n, 0, 0, root,
+  detail::ba_run(ctx, ws, std::move(problem), n, 0, 0, root,
                  /*prune_below=*/-1.0);
   return out;
 }
 
-/// Partitions `problem` into at most `n` subproblems with Algorithm BA'
-/// (BA pruned at the HF phase-1 weight threshold w(p)*r_alpha/n).
-/// Unlike BA, BA' needs alpha in order to evaluate r_alpha.
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_star_partition(P problem, std::int32_t n,
-                                             double alpha,
+[[nodiscard]] Partition<P> ba_partition(P problem, std::int32_t n,
+                                        const PartitionOptions& opt = {}) {
+  TrialWorkspace<P> ws;
+  return ba_partition(ws, std::move(problem), n, opt);
+}
+
+/// Partitions `problem` into at most `n` subproblems with Algorithm BA'
+/// (BA pruned at the HF phase-1 weight threshold w(p)*r_alpha/n), drawing
+/// scratch and output storage from `ws`.  Unlike BA, BA' needs alpha in
+/// order to evaluate r_alpha.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_star_partition(TrialWorkspace<P>& ws, P problem,
+                                             std::int32_t n, double alpha,
                                              const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_star_partition: n must be >= 1");
   require_valid_alpha(alpha);
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
-  out.pieces.reserve(static_cast<std::size_t>(n));
+  out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const double threshold = phf_phase1_threshold(alpha, out.total_weight, n);
-  detail::ba_run(ctx, std::move(problem), n, 0, 0, root, threshold);
+  detail::ba_run(ctx, ws, std::move(problem), n, 0, 0, root, threshold);
   return out;
+}
+
+/// Partitions `problem` into at most `n` subproblems with Algorithm BA'.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_star_partition(P problem, std::int32_t n,
+                                             double alpha,
+                                             const PartitionOptions& opt = {}) {
+  TrialWorkspace<P> ws;
+  return ba_star_partition(ws, std::move(problem), n, alpha, opt);
 }
 
 }  // namespace lbb::core

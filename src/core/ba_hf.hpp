@@ -6,19 +6,24 @@
 // below that threshold, the subproblem is partitioned with Algorithm HF.
 // Theorem 8 bounds the ratio by e^((1-alpha)/beta) * r_alpha, which for
 // beta >= 1/ln(1+eps) is within (1+eps) of HF's guarantee.
+//
+// Memory: the BA-style stack is ws.frames and the HF phase reuses the same
+// workspace's heap/slot buffers (disjoint members, so both phases share one
+// TrialWorkspace without conflict).
 #pragma once
 
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "core/ba.hpp"
 #include "core/bounds.hpp"
 #include "core/detail/build_context.hpp"
+#include "core/detail/scratch.hpp"
 #include "core/hf.hpp"
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "core/workspace.hpp"
 
 namespace lbb::core {
 
@@ -30,25 +35,23 @@ struct BaHfParams {
 
 namespace detail {
 
+/// BA-HF driver.  The BA-style frame stack is ws.frames (the `weight`
+/// field rides along as 0.0 -- BA-HF switches on processor count, not
+/// weight); HF leaves reuse ws's heap/slot scratch via hf_run.
 template <Bisectable P>
-void ba_hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
-               ProcessorId proc_lo, std::int32_t depth0, NodeId node0,
-               std::int32_t switch_threshold) {
-  struct Frame {
-    P problem;
-    std::int32_t n;
-    ProcessorId proc_lo;
-    std::int32_t depth;
-    NodeId node;
-  };
-  std::vector<Frame> stack;
-  stack.push_back(Frame{std::move(problem), n, proc_lo, depth0, node0});
+void ba_hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+               std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
+               NodeId node0, std::int32_t switch_threshold) {
+  auto& stack = ws.frames;
+  stack.clear();
+  stack.push_back(
+      BaFrame<P>{std::move(problem), 0.0, n, proc_lo, depth0, node0});
 
   while (!stack.empty()) {
-    Frame f = std::move(stack.back());
+    BaFrame<P> f = std::move(stack.back());
     stack.pop_back();
     if (f.n < switch_threshold) {
-      hf_run(ctx, std::move(f.problem), f.n, f.proc_lo, f.depth, f.node);
+      hf_run(ctx, ws, std::move(f.problem), f.n, f.proc_lo, f.depth, f.node);
       continue;
     }
     auto [left, right] = f.problem.bisect();
@@ -61,18 +64,21 @@ void ba_hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
     const auto [node_l, node_r] = ctx.bisected(f.node, wl, wr);
     const std::int32_t n1 = ba_split_processors(wl, wr, f.n);
     const std::int32_t depth = f.depth + 1;
-    stack.push_back(Frame{std::move(right), f.n - n1,
-                          f.proc_lo + static_cast<ProcessorId>(n1), depth,
-                          node_r});
-    stack.push_back(Frame{std::move(left), n1, f.proc_lo, depth, node_l});
+    stack.push_back(BaFrame<P>{std::move(right), 0.0, f.n - n1,
+                               f.proc_lo + static_cast<ProcessorId>(n1), depth,
+                               node_r});
+    stack.push_back(
+        BaFrame<P>{std::move(left), 0.0, n1, f.proc_lo, depth, node_l});
   }
 }
 
 }  // namespace detail
 
-/// Partitions `problem` into exactly `n` subproblems with Algorithm BA-HF.
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA-HF,
+/// drawing scratch and output storage from `ws`.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_hf_partition(P problem, std::int32_t n,
+[[nodiscard]] Partition<P> ba_hf_partition(TrialWorkspace<P>& ws, P problem,
+                                           std::int32_t n,
                                            const BaHfParams& params,
                                            const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_hf_partition: n must be >= 1");
@@ -83,14 +89,23 @@ template <Bisectable P>
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
-  out.pieces.reserve(static_cast<std::size_t>(n));
+  out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const std::int32_t threshold =
       ba_hf_switch_threshold(params.alpha, params.beta);
-  detail::ba_hf_run(ctx, std::move(problem), n, 0, 0, root, threshold);
+  detail::ba_hf_run(ctx, ws, std::move(problem), n, 0, 0, root, threshold);
   return out;
+}
+
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA-HF.
+template <Bisectable P>
+[[nodiscard]] Partition<P> ba_hf_partition(P problem, std::int32_t n,
+                                           const BaHfParams& params,
+                                           const PartitionOptions& opt = {}) {
+  TrialWorkspace<P> ws;
+  return ba_hf_partition(ws, std::move(problem), n, params, opt);
 }
 
 }  // namespace lbb::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace lbb::core {
@@ -44,7 +45,18 @@ class BisectionTree {
 
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  /// Node lookup.  Bounds-checked in debug builds (throws std::out_of_range
+  /// for ids outside [0, size())); unchecked in release builds -- analysis
+  /// passes walk the tree per node, and ids come from this tree's own
+  /// set_root/add_bisection, so the check only pays off while developing.
+  [[nodiscard]] const Node& node(NodeId id) const {
+#ifndef NDEBUG
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+      throw std::out_of_range("BisectionTree::node: bad NodeId");
+    }
+#endif
+    return nodes_[static_cast<std::size_t>(id)];
+  }
   [[nodiscard]] bool is_leaf(NodeId id) const { return node(id).left == kNoNode; }
 
   /// Number of leaves (== subproblems of the recorded partition).

@@ -1,0 +1,115 @@
+// Reusable scratch structures of the algorithm hot loops: the HF selection
+// heap and the slot/frame records that hf_run / ba_run / ba_hf_run keep
+// their in-flight subproblems in.  Split out of hf.hpp/ba.hpp so a
+// TrialWorkspace (core/workspace.hpp) can own one instance of each buffer
+// and recycle it across trials instead of reallocating per partition call.
+// Internal; not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/bisection_tree.hpp"
+#include "core/problem.hpp"
+
+namespace lbb::core {
+
+/// Mirrors partition.hpp's ProcessorId (partition.hpp includes this file's
+/// users, so the alias is re-declared here to keep the include graph flat).
+using ProcessorId = std::int32_t;
+
+namespace detail {
+
+/// Max-heap ordering used by HF and PHF: heavier first; ties broken by
+/// earlier creation sequence number.
+struct HfHeapEntry {
+  double weight;
+  std::int64_t seq;   ///< global creation order (root == 0)
+  std::int32_t slot;  ///< index into the runner's problem storage
+};
+
+/// Inline 4-ary max-heap of HfHeapEntry (heaviest on top, earlier-created
+/// wins ties).  Flat storage; children of node i are 4i+1 .. 4i+4.
+class HfHeap {
+ public:
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const HfHeapEntry& top() const noexcept {
+    return entries_.front();
+  }
+
+  void push(HfHeapEntry e) {
+    std::size_t hole = entries_.size();
+    entries_.push_back(e);
+    // Hole-sift up: move parents down until e's position is found.
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 4;
+      if (!higher(e, entries_[parent])) break;
+      entries_[hole] = entries_[parent];
+      hole = parent;
+    }
+    entries_[hole] = e;
+  }
+
+  HfHeapEntry pop() {
+    const HfHeapEntry result = entries_.front();
+    const HfHeapEntry last = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      // Hole-sift down: promote the best child until `last` fits.
+      const std::size_t count = entries_.size();
+      std::size_t hole = 0;
+      for (;;) {
+        const std::size_t first_child = 4 * hole + 1;
+        if (first_child >= count) break;
+        const std::size_t end_child = std::min(first_child + 4, count);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < end_child; ++c) {
+          if (higher(entries_[c], entries_[best])) best = c;
+        }
+        if (!higher(entries_[best], last)) break;
+        entries_[hole] = entries_[best];
+        hole = best;
+      }
+      entries_[hole] = last;
+    }
+    return result;
+  }
+
+ private:
+  /// True iff a must be popped before b (strictly higher priority).
+  [[nodiscard]] static bool higher(const HfHeapEntry& a,
+                                   const HfHeapEntry& b) noexcept {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.seq < b.seq;  // earlier-created wins ties
+  }
+
+  std::vector<HfHeapEntry> entries_;
+};
+
+/// One HF slot: a live subproblem awaiting (possible) further bisection.
+template <Bisectable P>
+struct HfSlot {
+  P problem;
+  std::int32_t depth;
+  NodeId node;
+};
+
+/// One frame of the BA-family explicit recursion stacks.  `weight` is used
+/// by ba_run (BA' prune test); ba_hf_run carries it as 0.0 so both loops
+/// can share one recycled buffer.
+template <Bisectable P>
+struct BaFrame {
+  P problem;
+  double weight;
+  std::int32_t n;
+  ProcessorId proc_lo;
+  std::int32_t depth;
+  NodeId node;
+};
+
+}  // namespace detail
+}  // namespace lbb::core

@@ -10,131 +10,72 @@
 // which makes the two partitions equal as multisets of problems, not merely
 // equal in ratio.
 //
-// The selection structure is an inline 4-ary max-heap (HfHeap) rather than
-// std::priority_queue: a d-ary heap halves the tree height, sift-down
-// touches 4 contiguous children per level (one cache line), and the
-// comparator is inlined with no function-object indirection.  Because the
-// priority (weight, seq) is a TOTAL order (seq is unique), every correct
-// heap pops in the same sequence, so the partition is bit-identical to the
-// previous std::priority_queue implementation.
+// The selection structure is an inline 4-ary max-heap (detail::HfHeap in
+// core/detail/scratch.hpp) rather than std::priority_queue: a d-ary heap
+// halves the tree height, sift-down touches 4 contiguous children per
+// level (one cache line), and the comparator is inlined with no
+// function-object indirection.  Because the priority (weight, seq) is a
+// TOTAL order (seq is unique), every correct heap pops in the same
+// sequence, so the partition is bit-identical to the previous
+// std::priority_queue implementation.
+//
+// Memory: every overload routes through a TrialWorkspace.  The
+// workspace-taking entry points reuse the slot array, per-slot weights,
+// selection heap and Partition::pieces storage across trials (zero
+// steady-state allocations -- the `perf` ctest gate pins this); the
+// workspace-free overloads keep the historical behavior by running on a
+// cold workspace.  Both produce byte-identical partitions.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "core/detail/build_context.hpp"
+#include "core/detail/scratch.hpp"
 #include "core/partition.hpp"
 #include "core/problem.hpp"
+#include "core/workspace.hpp"
 
 namespace lbb::core {
 
 namespace detail {
 
-/// Max-heap ordering used by HF and PHF: heavier first; ties broken by
-/// earlier creation sequence number.
-struct HfHeapEntry {
-  double weight;
-  std::int64_t seq;   ///< global creation order (root == 0)
-  std::int32_t slot;  ///< index into the runner's problem storage
-};
-
-/// Inline 4-ary max-heap of HfHeapEntry (heaviest on top, earlier-created
-/// wins ties).  Flat storage; children of node i are 4i+1 .. 4i+4.
-class HfHeap {
- public:
-  void reserve(std::size_t n) { entries_.reserve(n); }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] const HfHeapEntry& top() const noexcept {
-    return entries_.front();
-  }
-
-  void push(HfHeapEntry e) {
-    std::size_t hole = entries_.size();
-    entries_.push_back(e);
-    // Hole-sift up: move parents down until e's position is found.
-    while (hole > 0) {
-      const std::size_t parent = (hole - 1) / 4;
-      if (!higher(e, entries_[parent])) break;
-      entries_[hole] = entries_[parent];
-      hole = parent;
-    }
-    entries_[hole] = e;
-  }
-
-  HfHeapEntry pop() {
-    const HfHeapEntry result = entries_.front();
-    const HfHeapEntry last = entries_.back();
-    entries_.pop_back();
-    if (!entries_.empty()) {
-      // Hole-sift down: promote the best child until `last` fits.
-      const std::size_t count = entries_.size();
-      std::size_t hole = 0;
-      for (;;) {
-        const std::size_t first_child = 4 * hole + 1;
-        if (first_child >= count) break;
-        const std::size_t end_child = std::min(first_child + 4, count);
-        std::size_t best = first_child;
-        for (std::size_t c = first_child + 1; c < end_child; ++c) {
-          if (higher(entries_[c], entries_[best])) best = c;
-        }
-        if (!higher(entries_[best], last)) break;
-        entries_[hole] = entries_[best];
-        hole = best;
-      }
-      entries_[hole] = last;
-    }
-    return result;
-  }
-
- private:
-  /// True iff a must be popped before b (strictly higher priority).
-  [[nodiscard]] static bool higher(const HfHeapEntry& a,
-                                   const HfHeapEntry& b) noexcept {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    return a.seq < b.seq;  // earlier-created wins ties
-  }
-
-  std::vector<HfHeapEntry> entries_;
-};
-
 /// Runs HF on `problem` with `n` processors, emitting pieces with processor
 /// ids proc_lo .. proc_lo+n-1 and depths offset by `depth0`.  Used directly
-/// by hf_partition and as the second phase of BA-HF.
+/// by hf_partition and as the second phase of BA-HF.  Scratch (slots,
+/// weights, heap) comes from `ws` and is cleared on entry, so one warm
+/// workspace serves any number of consecutive runs.
 template <Bisectable P>
-void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
-            ProcessorId proc_lo, std::int32_t depth0, NodeId node0) {
-  struct Slot {
-    P problem;
-    std::int32_t depth;
-    NodeId node;
-  };
+void hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+            std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
+            NodeId node0) {
   const double w0 = problem.weight();
   if (n == 1) {
     ctx.piece(std::move(problem), w0, proc_lo, depth0, node0);
     return;
   }
 
-  std::vector<Slot> slots;
+  auto& slots = ws.hf_slots;
+  auto& slot_weight = ws.slot_weight;
+  auto& heap = ws.heap;
+  slots.clear();
   slots.reserve(static_cast<std::size_t>(n));
   // Current weight per slot; once the heap reaches n entries this holds
   // every final piece weight, so no ordered drain of the heap is needed.
-  std::vector<double> slot_weight;
+  slot_weight.clear();
   slot_weight.reserve(static_cast<std::size_t>(n));
-  HfHeap heap;
+  heap.clear();
   heap.reserve(static_cast<std::size_t>(n));
   std::int64_t next_seq = 0;
 
-  slots.push_back(Slot{std::move(problem), depth0, node0});
+  slots.push_back(HfSlot<P>{std::move(problem), depth0, node0});
   slot_weight.push_back(w0);
   heap.push(HfHeapEntry{w0, next_seq++, 0});
 
   while (heap.size() < static_cast<std::size_t>(n)) {
     const HfHeapEntry top = heap.pop();
-    Slot& s = slots[static_cast<std::size_t>(top.slot)];
+    HfSlot<P>& s = slots[static_cast<std::size_t>(top.slot)];
     auto [left, right] = s.problem.bisect();
     double wl = left.weight();
     double wr = right.weight();
@@ -146,40 +87,60 @@ void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
     const auto [node_l, node_r] = ctx.bisected(s.node, wl, wr);
     const std::int32_t depth = s.depth + 1;
     // Reuse the parent's slot for the left child.
-    s = Slot{std::move(left), depth, node_l};
+    s = HfSlot<P>{std::move(left), depth, node_l};
     slot_weight[static_cast<std::size_t>(top.slot)] = wl;
     heap.push(HfHeapEntry{wl, next_seq++, top.slot});
     const auto right_slot = static_cast<std::int32_t>(slots.size());
-    slots.push_back(Slot{std::move(right), depth, node_r});
+    slots.push_back(HfSlot<P>{std::move(right), depth, node_r});
     slot_weight.push_back(wr);
     heap.push(HfHeapEntry{wr, next_seq++, right_slot});
   }
 
   // Emit in slot (creation) order for determinism.
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    Slot& s = slots[i];
+    HfSlot<P>& s = slots[i];
     ctx.piece(std::move(s.problem), slot_weight[i],
               proc_lo + static_cast<ProcessorId>(i), s.depth, s.node);
   }
 }
 
+/// Compatibility shim for call sites without a live workspace (allocates
+/// the scratch locally, as the pre-workspace implementation did).
+template <Bisectable P>
+void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
+            ProcessorId proc_lo, std::int32_t depth0, NodeId node0) {
+  TrialWorkspace<P> ws;
+  hf_run(ctx, ws, std::move(problem), n, proc_lo, depth0, node0);
+}
+
 }  // namespace detail
 
-/// Partitions `problem` into exactly `n` subproblems with Algorithm HF.
+/// Partitions `problem` into exactly `n` subproblems with Algorithm HF,
+/// drawing all scratch and output storage from `ws` (zero allocations once
+/// the workspace is warm).
 template <Bisectable P>
-[[nodiscard]] Partition<P> hf_partition(P problem, std::int32_t n,
+[[nodiscard]] Partition<P> hf_partition(TrialWorkspace<P>& ws, P problem,
+                                        std::int32_t n,
                                         const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("hf_partition: n must be >= 1");
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
-  out.pieces.reserve(static_cast<std::size_t>(n));
+  out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
-  detail::hf_run(ctx, std::move(problem), n, /*proc_lo=*/0, /*depth0=*/0,
+  detail::hf_run(ctx, ws, std::move(problem), n, /*proc_lo=*/0, /*depth0=*/0,
                  root);
   return out;
+}
+
+/// Partitions `problem` into exactly `n` subproblems with Algorithm HF.
+template <Bisectable P>
+[[nodiscard]] Partition<P> hf_partition(P problem, std::int32_t n,
+                                        const PartitionOptions& opt = {}) {
+  TrialWorkspace<P> ws;
+  return hf_partition(ws, std::move(problem), n, opt);
 }
 
 }  // namespace lbb::core

@@ -43,6 +43,7 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/run_context.hpp"
+#include "core/workspace.hpp"
 
 namespace lbb::core {
 
@@ -167,9 +168,16 @@ class PartitionerRegistry {
 /// hf_partition & co. exactly like direct calls); returns std::nullopt for
 /// custom partitioners, whose only entry point is the erased run().
 /// Context bookkeeping (bisections, checkpoint) matches run().
+///
+/// This overload draws all scratch and output storage from `ws`: with a
+/// warm workspace the hf/ba/ba_star/ba_hf cases allocate nothing (the
+/// oblivious baselines are off the measured hot path and keep their own
+/// storage).  The caller recycles the returned partition back into `ws`
+/// once its statistics are extracted.
 template <Bisectable P>
 [[nodiscard]] std::optional<Partition<P>> try_typed_partition(
-    const Partitioner& part, RunContext& ctx, P problem, std::int32_t n) {
+    const Partitioner& part, RunContext& ctx, TrialWorkspace<P>& ws,
+    P problem, std::int32_t n) {
   const BuiltinAlgo b = part.builtin();
   ctx.checkpoint();
   std::optional<Partition<P>> out;
@@ -177,16 +185,16 @@ template <Bisectable P>
     case BuiltinKind::kCustom:
       return std::nullopt;
     case BuiltinKind::kHf:
-      out = hf_partition(std::move(problem), n, b.options);
+      out = hf_partition(ws, std::move(problem), n, b.options);
       break;
     case BuiltinKind::kBa:
-      out = ba_partition(std::move(problem), n, b.options);
+      out = ba_partition(ws, std::move(problem), n, b.options);
       break;
     case BuiltinKind::kBaStar:
-      out = ba_star_partition(std::move(problem), n, b.alpha, b.options);
+      out = ba_star_partition(ws, std::move(problem), n, b.alpha, b.options);
       break;
     case BuiltinKind::kBaHf:
-      out = ba_hf_partition(std::move(problem), n,
+      out = ba_hf_partition(ws, std::move(problem), n,
                             BaHfParams{b.alpha, b.beta}, b.options);
       break;
     case BuiltinKind::kOblivious: {
@@ -200,6 +208,14 @@ template <Bisectable P>
   ctx.metrics.partitions += 1;
   ctx.metrics.bisections += out->bisections;
   return out;
+}
+
+/// Workspace-free form (cold workspace per call; identical output).
+template <Bisectable P>
+[[nodiscard]] std::optional<Partition<P>> try_typed_partition(
+    const Partitioner& part, RunContext& ctx, P problem, std::int32_t n) {
+  TrialWorkspace<P> ws;
+  return try_typed_partition(part, ctx, ws, std::move(problem), n);
 }
 
 }  // namespace lbb::core

@@ -8,11 +8,24 @@
 // The load-balancing algorithms in this library are templates over any type
 // satisfying the Bisectable concept below; a type-erased AnyProblem is
 // provided for API boundaries where templates are inconvenient.
+//
+// AnyProblem storage: the handle carries a small inline buffer
+// (kInlineSize bytes).  Problems that fit -- every value-type class in
+// src/problems/, pinned by static_asserts there -- are stored in place, so
+// wrapping and (crucially) bisect() on the erased path perform no heap
+// allocation: the two children of an inline problem are constructed
+// directly inside the child handles.  Oversized problems fall back to a
+// single heap cell, or to a caller-supplied MonotonicArena (bump
+// allocation, recycled per trial) when constructed with one; children of
+// an arena-backed problem stay in the same arena.
 #pragma once
 
 #include <concepts>
-#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
+
+#include "runtime/arena.hpp"
 
 namespace lbb::core {
 
@@ -29,48 +42,175 @@ concept Bisectable =
 
 /// Type-erased problem handle (for non-template API surfaces and examples
 /// mixing problem classes).  Wraps any Bisectable type.
+///
+/// Ownership contract: move-only.  Copying is deliberately deleted rather
+/// than deep-copying -- bisect() may consume the wrapped problem, so two
+/// handles to one logical problem would be a correctness trap; wrap a copy
+/// of the concrete problem instead.  A moved-from handle is empty:
+/// has_value() == false, and weight()/bisect() must not be called on it.
 class AnyProblem {
  public:
+  /// Problems up to this size (and at most fundamental alignment) are
+  /// stored inline in the handle; 48 bytes covers every problem class this
+  /// library ships (NoisyWeightProblem<SyntheticProblem> is exactly 48).
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when P is stored in the handle's inline buffer (no allocation on
+  /// wrap or bisect).  Nothrow-movability is required because handle moves
+  /// are noexcept.
+  template <typename P>
+  static constexpr bool fits_inline_v =
+      sizeof(P) <= kInlineSize && alignof(P) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<P>;
+
   AnyProblem() = default;
 
   template <Bisectable P>
     requires(!std::same_as<std::decay_t<P>, AnyProblem>)
-  explicit AnyProblem(P problem)
-      : impl_(std::make_unique<Model<P>>(std::move(problem))) {}
+  explicit AnyProblem(P problem) {
+    emplace<P>(std::move(problem), nullptr);
+  }
 
-  AnyProblem(AnyProblem&&) noexcept = default;
-  AnyProblem& operator=(AnyProblem&&) noexcept = default;
+  /// Wraps `problem`, using `arena` for storage when P does not fit the
+  /// inline buffer.  Children produced by bisect() use the same arena.
+  /// The arena must outlive every handle (and every descendant handle)
+  /// allocated from it; destroy them all before MonotonicArena::reset().
+  template <Bisectable P>
+    requires(!std::same_as<std::decay_t<P>, AnyProblem>)
+  AnyProblem(P problem, runtime::MonotonicArena& arena) {
+    emplace<P>(std::move(problem), &arena);
+  }
 
-  /// True if this handle holds a problem.
-  [[nodiscard]] bool has_value() const noexcept { return impl_ != nullptr; }
+  AnyProblem(AnyProblem&& other) noexcept { steal(other); }
+  AnyProblem& operator=(AnyProblem&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  // See the ownership contract in the class comment.
+  AnyProblem(const AnyProblem&) = delete;
+  AnyProblem& operator=(const AnyProblem&) = delete;
+
+  ~AnyProblem() { destroy(); }
+
+  /// True if this handle holds a problem (false once moved from).
+  [[nodiscard]] bool has_value() const noexcept { return vt_ != nullptr; }
 
   /// Weight of the wrapped problem.  Requires has_value().
-  [[nodiscard]] double weight() const { return impl_->weight(); }
+  [[nodiscard]] double weight() const { return vt_->weight(*this); }
 
   /// Bisects the wrapped problem.  Requires has_value().
   [[nodiscard]] std::pair<AnyProblem, AnyProblem> bisect() {
-    return impl_->bisect();
+    std::pair<AnyProblem, AnyProblem> children;
+    vt_->bisect(*this, children.first, children.second);
+    return children;
   }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-    [[nodiscard]] virtual double weight() const = 0;
-    [[nodiscard]] virtual std::pair<AnyProblem, AnyProblem> bisect() = 0;
+  struct VTable {
+    double (*weight)(const AnyProblem&);
+    void (*bisect)(AnyProblem&, AnyProblem&, AnyProblem&);
+    void (*destroy)(AnyProblem&) noexcept;
+    void (*relocate)(AnyProblem& dst, AnyProblem& src) noexcept;
   };
 
   template <Bisectable P>
-  struct Model final : Concept {
-    explicit Model(P problem) : value(std::move(problem)) {}
-    [[nodiscard]] double weight() const override { return value.weight(); }
-    [[nodiscard]] std::pair<AnyProblem, AnyProblem> bisect() override {
-      auto [a, b] = value.bisect();
-      return {AnyProblem(std::move(a)), AnyProblem(std::move(b))};
+  struct Ops {
+    static P& get(AnyProblem& self) noexcept {
+      if constexpr (fits_inline_v<P>) {
+        return *std::launder(reinterpret_cast<P*>(self.storage_.buf));
+      } else {
+        return *static_cast<P*>(self.storage_.remote.ptr);
+      }
     }
-    P value;
+    static const P& get(const AnyProblem& self) noexcept {
+      if constexpr (fits_inline_v<P>) {
+        return *std::launder(reinterpret_cast<const P*>(self.storage_.buf));
+      } else {
+        return *static_cast<const P*>(self.storage_.remote.ptr);
+      }
+    }
+
+    static double weight(const AnyProblem& self) { return get(self).weight(); }
+
+    static void bisect(AnyProblem& self, AnyProblem& left, AnyProblem& right) {
+      runtime::MonotonicArena* arena = nullptr;
+      if constexpr (!fits_inline_v<P>) arena = self.storage_.remote.arena;
+      auto [a, b] = get(self).bisect();
+      left.emplace<P>(std::move(a), arena);
+      right.emplace<P>(std::move(b), arena);
+    }
+
+    static void destroy(AnyProblem& self) noexcept {
+      if constexpr (fits_inline_v<P>) {
+        get(self).~P();
+      } else {
+        P* p = static_cast<P*>(self.storage_.remote.ptr);
+        if (self.storage_.remote.arena != nullptr) {
+          p->~P();  // bytes stay with the arena until its reset()
+        } else {
+          delete p;
+        }
+      }
+    }
+
+    static void relocate(AnyProblem& dst, AnyProblem& src) noexcept {
+      if constexpr (fits_inline_v<P>) {
+        ::new (static_cast<void*>(dst.storage_.buf)) P(std::move(get(src)));
+        get(src).~P();
+      } else {
+        dst.storage_.remote = src.storage_.remote;
+      }
+    }
+
+    static constexpr VTable vtable{&Ops::weight, &Ops::bisect, &Ops::destroy,
+                                   &Ops::relocate};
   };
 
-  std::unique_ptr<Concept> impl_;
+  /// Installs `problem` into an EMPTY handle.
+  template <Bisectable P>
+  void emplace(P problem, runtime::MonotonicArena* arena) {
+    if constexpr (fits_inline_v<P>) {
+      ::new (static_cast<void*>(storage_.buf)) P(std::move(problem));
+    } else if (arena != nullptr) {
+      storage_.remote.ptr = arena->create<P>(std::move(problem));
+      storage_.remote.arena = arena;
+    } else {
+      storage_.remote.ptr = new P(std::move(problem));
+      storage_.remote.arena = nullptr;
+    }
+    vt_ = &Ops<P>::vtable;
+  }
+
+  void destroy() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(*this);
+      vt_ = nullptr;
+    }
+  }
+
+  /// Takes `src`'s problem into this EMPTY handle; `src` becomes empty.
+  void steal(AnyProblem& src) noexcept {
+    vt_ = src.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(*this, src);
+      src.vt_ = nullptr;
+    }
+  }
+
+  union Storage {
+    constexpr Storage() noexcept : remote{nullptr, nullptr} {}
+    struct Remote {
+      void* ptr;
+      runtime::MonotonicArena* arena;  ///< nullptr: ptr is a heap cell
+    } remote;
+    alignas(kInlineAlign) std::byte buf[kInlineSize];
+  } storage_;
+  const VTable* vt_ = nullptr;
 };
 
 static_assert(Bisectable<AnyProblem>);

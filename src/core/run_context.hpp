@@ -58,12 +58,19 @@ class OperationCancelled : public std::runtime_error {
 /// (SimMetrics) flows through the MetricsSink counters instead, so the core
 /// layer never depends on the sim layer.
 struct RunMetrics {
-  std::int64_t partitions = 0;  ///< partitioning runs completed
-  std::int64_t bisections = 0;  ///< bisection steps across those runs
+  std::int64_t partitions = 0;   ///< partitioning runs completed
+  std::int64_t bisections = 0;   ///< bisection steps across those runs
+  std::int64_t alloc_count = 0;  ///< heap allocations attributed to the run
+  std::int64_t alloc_bytes = 0;  ///< bytes requested by those allocations
+
+  // alloc_* are zero unless the binary links the interposing allocation
+  // probe (tools/alloc_probe); see stats/alloc_stats.hpp.
 
   void merge(const RunMetrics& other) noexcept {
     partitions += other.partitions;
     bisections += other.bisections;
+    alloc_count += other.alloc_count;
+    alloc_bytes += other.alloc_bytes;
   }
 };
 

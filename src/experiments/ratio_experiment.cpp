@@ -10,9 +10,11 @@
 
 #include "core/lbb.hpp"
 #include "core/partitioner.hpp"
+#include "core/workspace.hpp"
 #include "problems/synthetic.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
+#include "stats/alloc_stats.hpp"
 #include "stats/csv.hpp"
 #include "stats/rng.hpp"
 
@@ -80,18 +82,33 @@ struct TrialOutcome {
   std::int64_t bisections = 0;
 };
 
+/// The calling thread's trial workspace: scratch buffers, piece pool and
+/// arena reused by every trial chunk this thread executes.  One per worker
+/// thread, so trials never contend for it; steady-state trials allocate
+/// nothing (the `perf` gate pins this for the builtin families).
+lbb::core::TrialWorkspace<SyntheticProblem>& thread_workspace() {
+  thread_local lbb::core::TrialWorkspace<SyntheticProblem> ws;
+  return ws;
+}
+
 /// One trial through the registry's typed escape hatch (the builtin
 /// families monomorphize on SyntheticProblem exactly like the former
 /// per-algorithm switch); custom partitioners go through the erased
 /// interface.  The context carries the instance seed, so seed-deriving
 /// strategies (oblivious:random, phf:probe) stay deterministic per trial.
+/// Typed partitions borrow `ws`'s storage and are recycled back into it
+/// once the trial statistics are extracted.
 TrialOutcome run_trial(const Partitioner& part, RunContext& ctx,
+                       lbb::core::TrialWorkspace<SyntheticProblem>& ws,
                        std::uint64_t seed, const AlphaDistribution& dist,
                        std::int32_t n) {
   SyntheticProblem root(seed, dist);
   if (auto typed =
-          lbb::core::try_typed_partition(part, ctx, std::move(root), n)) {
-    return {typed->ratio(), typed->bisections};
+          lbb::core::try_typed_partition(part, ctx, ws, std::move(root), n)) {
+    const TrialOutcome outcome{typed->ratio(), typed->bisections};
+    ws.recycle(std::move(*typed));
+    ws.reset();
+    return outcome;
   }
   const auto erased =
       part.run(ctx, lbb::core::AnyProblem(SyntheticProblem(seed, dist)), n);
@@ -118,7 +135,7 @@ double ratio_of(Algo algo, std::uint64_t seed, const AlphaDistribution& dist,
   const auto part = PartitionerRegistry::instance().create(
       algo_key(algo), PartitionerConfig{dist.lower_bound(), beta, 0, {}});
   RunContext ctx(seed);
-  return run_trial(*part, ctx, seed, dist, n).ratio;
+  return run_trial(*part, ctx, thread_workspace(), seed, dist, n).ratio;
 }
 
 const RatioCell& RatioExperimentResult::cell(std::string_view algo,
@@ -228,10 +245,16 @@ RatioExperimentResult run_ratio_experiment(
           static_cast<std::size_t>(chunks));
       std::vector<std::int64_t> chunk_bisections(
           static_cast<std::size_t>(chunks), 0);
+      std::vector<lbb::stats::AllocStats> chunk_allocs(
+          static_cast<std::size_t>(chunks));
       const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
                                  std::int64_t hi) {
         lbb::stats::RunningStats local;
         std::int64_t bisections = 0;
+        lbb::core::TrialWorkspace<SyntheticProblem>& ws = thread_workspace();
+        // Thread-local counters: the delta covers exactly this chunk's
+        // trials (all zero unless the allocation probe is linked).
+        const lbb::stats::AllocStats allocs_before = lbb::stats::alloc_stats();
         for (std::int64_t t = lo; t < hi; ++t) {
           ensure_alive(config.cancel, deadline);
           // Instance seed depends on the trial only: all algorithms and all
@@ -241,12 +264,14 @@ RatioExperimentResult run_ratio_experiment(
           RunContext ctx(instance_seed);
           ctx.set_cancel_token(config.cancel);
           const TrialOutcome outcome =
-              run_trial(part, ctx, instance_seed, config.dist, n);
+              run_trial(part, ctx, ws, instance_seed, config.dist, n);
           local.add(outcome.ratio);
           bisections += outcome.bisections;
         }
         chunk_ratio[static_cast<std::size_t>(chunk)] = local;
         chunk_bisections[static_cast<std::size_t>(chunk)] = bisections;
+        chunk_allocs[static_cast<std::size_t>(chunk)] =
+            lbb::stats::alloc_stats() - allocs_before;
       };
 
       const auto started = std::chrono::steady_clock::now();
@@ -264,6 +289,8 @@ RatioExperimentResult run_ratio_experiment(
       for (std::int64_t c = 0; c < chunks; ++c) {
         cell.ratio.merge(chunk_ratio[static_cast<std::size_t>(c)]);
         cell.bisections += chunk_bisections[static_cast<std::size_t>(c)];
+        cell.alloc_count += chunk_allocs[static_cast<std::size_t>(c)].count;
+        cell.alloc_bytes += chunk_allocs[static_cast<std::size_t>(c)].bytes;
       }
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - started;

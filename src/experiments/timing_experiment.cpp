@@ -78,6 +78,8 @@ class TimingSink final : public lbb::core::MetricsSink {
       collective_ops = value;
     } else if (key == "sim.phase2_iterations") {
       phase2_iterations = value;
+    } else if (key == "alloc.count") {
+      allocs = value;
     }
   }
 
@@ -85,6 +87,7 @@ class TimingSink final : public lbb::core::MetricsSink {
   double messages = 0.0;
   double collective_ops = 0.0;
   double phase2_iterations = 0.0;
+  double allocs = 0.0;
 };
 
 /// Per-chunk accumulator mirroring TimingCell's statistics fields.
@@ -93,6 +96,7 @@ struct ChunkStats {
   lbb::stats::RunningStats messages;
   lbb::stats::RunningStats collective_ops;
   lbb::stats::RunningStats phase2_iterations;
+  lbb::stats::RunningStats allocs;
 };
 
 void ensure_alive(
@@ -209,6 +213,7 @@ TimingExperimentResult run_timing_experiment(
           local.messages.add(sink.messages);
           local.collective_ops.add(sink.collective_ops);
           local.phase2_iterations.add(sink.phase2_iterations);
+          local.allocs.add(sink.allocs);
         }
         chunk_stats[static_cast<std::size_t>(chunk)] = local;
       };
@@ -230,6 +235,7 @@ TimingExperimentResult run_timing_experiment(
         cell.messages.merge(local.messages);
         cell.collective_ops.merge(local.collective_ops);
         cell.phase2_iterations.merge(local.phase2_iterations);
+        cell.allocs.merge(local.allocs);
       }
       result.cells.push_back(std::move(cell));
     }

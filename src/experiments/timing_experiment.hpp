@@ -74,6 +74,10 @@ struct TimingCell {
   lbb::stats::RunningStats messages;
   lbb::stats::RunningStats collective_ops;
   lbb::stats::RunningStats phase2_iterations;  ///< PHF only
+  /// Heap allocations per simulated run ("alloc.count" counter; all-zero
+  /// unless the binary links the allocation probe, and always zero for the
+  /// analytic kSeqHF rows).
+  lbb::stats::RunningStats allocs;
 };
 
 struct TimingExperimentResult {

@@ -16,6 +16,7 @@
 
 #include "core/partition.hpp"
 #include "core/problem.hpp"
+#include "problems/synthetic.hpp"
 #include "stats/rng.hpp"
 
 namespace lbb::problems {
@@ -64,6 +65,17 @@ class NoisyWeightProblem {
   std::uint64_t node_hash_;
   std::int32_t depth_ = 0;
 };
+
+// The canonical noisy instance (noise over the paper's stochastic model,
+// what `lbb_bench noise_robustness` erases) must stay inside AnyProblem's
+// inline buffer so the erased hot path never allocates; it is exactly at
+// the 48-byte limit today, so any member added to either class trips this.
+static_assert(sizeof(NoisyWeightProblem<SyntheticProblem>) == 48,
+              "NoisyWeightProblem<SyntheticProblem> grew past 48 bytes");
+static_assert(
+    lbb::core::AnyProblem::fits_inline_v<NoisyWeightProblem<SyntheticProblem>>,
+    "NoisyWeightProblem<SyntheticProblem> must fit AnyProblem's inline "
+    "buffer (allocation-free erased wrap/bisect)");
 
 /// The realized (true-weight) performance ratio of a partition computed on
 /// noisy weights.

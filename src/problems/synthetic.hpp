@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "core/problem.hpp"
 #include "problems/alpha_dist.hpp"
 #include "stats/rng.hpp"
 
@@ -73,5 +74,8 @@ class SyntheticProblem {
 
 static_assert(sizeof(SyntheticProblem) == 24,
               "SyntheticProblem should stay a 3-word value type");
+static_assert(lbb::core::AnyProblem::fits_inline_v<SyntheticProblem>,
+              "SyntheticProblem must fit AnyProblem's inline buffer: the "
+              "erased hot path relies on allocation-free wrap and bisect");
 
 }  // namespace lbb::problems

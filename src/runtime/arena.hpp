@@ -1,0 +1,133 @@
+// MonotonicArena: a chunked bump allocator for trial-scoped scratch memory.
+//
+// The experiment engine runs millions of short partitioning trials; the
+// allocations inside one trial all die together when the trial's results
+// have been folded into the running statistics.  A monotonic arena turns
+// that pattern into pointer bumps: allocation is an offset increment inside
+// the current chunk, deallocation is a no-op, and reset() rewinds the
+// cursor while *keeping* every chunk, so the steady state after the first
+// few trials performs zero calls to operator new (the gate in
+// tests/perf/alloc_gate_test.cpp pins this for the core hot loops).
+//
+// The arena never runs destructors: reset() requires that all non-trivial
+// objects created in the arena have already been destroyed (AnyProblem's
+// arena-backed storage runs the destructor in its own teardown and leaves
+// the bytes to the arena).  This file is deliberately freestanding --
+// standard headers only -- so lower layers (core/workspace.hpp) can include
+// it without a link-time dependency on lbb_runtime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace lbb::runtime {
+
+/// Chunked bump allocator.  Not thread-safe: one arena per thread (the
+/// per-thread TrialWorkspace owns one).  Movable, not copyable.
+class MonotonicArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{64} << 10;
+
+  explicit MonotonicArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  MonotonicArena(MonotonicArena&&) noexcept = default;
+  MonotonicArena& operator=(MonotonicArena&&) noexcept = default;
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `size` bytes aligned to `align` (a power of two).
+  /// Grabs a fresh chunk only when no retained chunk can satisfy the
+  /// request; after reset() the same requests are pure pointer bumps.
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    while (chunk_index_ < chunks_.size()) {
+      Chunk& chunk = chunks_[chunk_index_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(chunk.data.get());
+      const std::size_t aligned = (base + offset_ + (align - 1)) & ~(align - 1);
+      const std::size_t needed = aligned - base + size;
+      if (needed <= chunk.size) {
+        offset_ = needed;
+        used_ = used_peak();
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Current chunk exhausted: move on (retained chunks keep their size).
+      ++chunk_index_;
+      offset_ = 0;
+    }
+    // No retained chunk fits: allocate one (oversized requests get a
+    // dedicated chunk so the default chunk size stays the steady state).
+    const std::size_t chunk_size =
+        size + align > chunk_bytes_ ? size + align : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(chunk_size),
+                            chunk_size});
+    chunk_index_ = chunks_.size() - 1;
+    offset_ = 0;
+    Chunk& chunk = chunks_.back();
+    const std::size_t base = reinterpret_cast<std::size_t>(chunk.data.get());
+    const std::size_t aligned = (base + (align - 1)) & ~(align - 1);
+    offset_ = aligned - base + size;
+    used_ = used_peak();
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Constructs a T in the arena.  The caller owns the lifetime: run ~T()
+  /// before reset()/destruction unless T is trivially destructible.
+  template <typename T, typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds the cursor to the first chunk, retaining every chunk for
+  /// reuse.  All objects previously handed out must be dead (destroyed or
+  /// trivially destructible) -- the arena does not run destructors.
+  void reset() noexcept {
+    chunk_index_ = 0;
+    offset_ = 0;
+  }
+
+  /// Frees every chunk (back to a freshly constructed arena).
+  void release() noexcept {
+    chunks_.clear();
+    chunk_index_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes held in chunks (capacity, survives reset()).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+  /// High-water mark of bytes handed out since construction/release().
+  [[nodiscard]] std::size_t bytes_used_peak() const noexcept { return used_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] std::size_t used_peak() const noexcept {
+    std::size_t total = offset_;
+    for (std::size_t i = 0; i < chunk_index_ && i < chunks_.size(); ++i) {
+      total += chunks_[i].size;
+    }
+    return total > used_ ? total : used_;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;   ///< chunk currently being bumped
+  std::size_t offset_ = 0;        ///< bytes consumed in that chunk
+  std::size_t chunk_bytes_ = kDefaultChunkBytes;
+  std::size_t used_ = 0;
+};
+
+}  // namespace lbb::runtime

@@ -31,6 +31,7 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "core/workspace.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
@@ -85,6 +86,9 @@ SimResult<P> ba_like_simulate(P problem, std::int32_t n,
   std::vector<Frame> stack;
   stack.push_back(Frame{std::move(problem), out.total_weight, n, 0, 0.0, 0,
                         root_node});
+  // One workspace for every below-threshold HF leaf of this simulate call
+  // (BA-HF runs many); warm after the first leaf.
+  lbb::core::TrialWorkspace<P> hf_ws;
 
   while (!stack.empty()) {
     Frame f = std::move(stack.back());
@@ -99,8 +103,8 @@ SimResult<P> ba_like_simulate(P problem, std::int32_t n,
       // BA-HF leaf phase: sequential HF on the owning processor, then ship
       // the pieces (pipelined sends, one per unit of t_send).
       const auto pieces_before = out.pieces.size();
-      lbb::core::detail::hf_run(ctx, std::move(f.problem), f.n, f.proc_lo,
-                                f.depth, f.node);
+      lbb::core::detail::hf_run(ctx, hf_ws, std::move(f.problem), f.n,
+                                f.proc_lo, f.depth, f.node);
       const auto produced =
           static_cast<std::int32_t>(out.pieces.size() - pieces_before);
       const double step = fault.bisect_cost(f.proc_lo, cost.t_bisect);

@@ -7,6 +7,7 @@
 #include "sim/metrics.hpp"
 #include "sim/par_ba.hpp"
 #include "sim/phf.hpp"
+#include "stats/alloc_stats.hpp"
 
 namespace lbb::sim {
 
@@ -23,9 +24,16 @@ using lbb::core::UnknownPartitionerError;
 
 /// Pushes one simulated execution's metrics into the context: core
 /// bisection accounting directly, sim-specific numbers as named counters.
-void report(RunContext& ctx, const SimMetrics& m) {
+/// `allocs` is the allocation delta measured around the simulate call
+/// (all-zero unless the binary links the allocation probe).
+void report(RunContext& ctx, const SimMetrics& m,
+            const lbb::stats::AllocStats& allocs) {
   ctx.metrics.partitions += 1;
   ctx.metrics.bisections += m.bisections;
+  ctx.metrics.alloc_count += allocs.count;
+  ctx.metrics.alloc_bytes += allocs.bytes;
+  ctx.counter("alloc.count", static_cast<double>(allocs.count));
+  ctx.counter("alloc.bytes", static_cast<double>(allocs.bytes));
   ctx.counter("sim.makespan", m.makespan);
   ctx.counter("sim.messages", static_cast<double>(m.messages));
   ctx.counter("sim.collective_ops", static_cast<double>(m.collective_ops));
@@ -62,9 +70,10 @@ class PhfPartitioner final : public Partitioner {
     // reproduces the probe sequence of a direct
     // phf_simulate(probe_seed = instance_seed) call.
     opts.probe_seed = config_.seed != 0 ? config_.seed : ctx.seed();
+    const auto allocs_before = lbb::stats::alloc_stats();
     auto result =
         phf_simulate(std::move(problem), n, config_.alpha, cost_, opts);
-    report(ctx, result.metrics);
+    report(ctx, result.metrics, lbb::stats::alloc_stats() - allocs_before);
     ctx.emit("phf.makespan", result.metrics.makespan);
     return std::move(result.partition);
   }
@@ -94,6 +103,7 @@ class SimBaPartitioner final : public Partitioner {
   [[nodiscard]] Partition<AnyProblem> run(RunContext& ctx, AnyProblem problem,
                                           std::int32_t n) const override {
     ctx.checkpoint();
+    const auto allocs_before = lbb::stats::alloc_stats();
     SimResult<AnyProblem> result = [&] {
       switch (kind_) {
         case SimBaKind::kBaStar:
@@ -107,7 +117,7 @@ class SimBaPartitioner final : public Partitioner {
       }
       return ba_simulate(std::move(problem), n, cost_, config_.options);
     }();
-    report(ctx, result.metrics);
+    report(ctx, result.metrics, lbb::stats::alloc_stats() - allocs_before);
     ctx.emit("sim_ba.makespan", result.metrics.makespan);
     return std::move(result.partition);
   }

@@ -1,0 +1,15 @@
+// Weak default definitions of the allocation-accounting API: report zeros,
+// do nothing.  tools/alloc_probe/alloc_probe.cpp provides strong
+// definitions (plus the operator new/delete interposer) for binaries that
+// opt in; the linker picks those over these automatically.
+#include "stats/alloc_stats.hpp"
+
+namespace lbb::stats {
+
+__attribute__((weak)) AllocStats alloc_stats() noexcept { return {}; }
+
+__attribute__((weak)) void reset_alloc_stats() noexcept {}
+
+__attribute__((weak)) bool alloc_probe_linked() noexcept { return false; }
+
+}  // namespace lbb::stats

@@ -85,5 +85,18 @@ TEST(BisectionTree, DeepChainDepth) {
   EXPECT_TRUE(tree.validate(0.5));
 }
 
+// node() is bounds-checked only in debug builds: hot analysis loops get an
+// unchecked load in release, development builds keep the guard.
+#ifndef NDEBUG
+TEST(BisectionTree, NodeOutOfRangeThrowsInDebug) {
+  BisectionTree tree;
+  tree.set_root(1.0);
+  EXPECT_THROW(static_cast<void>(tree.node(-1)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(tree.node(1)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(tree.is_leaf(42)), std::out_of_range);
+  EXPECT_NO_THROW(static_cast<void>(tree.node(0)));
+}
+#endif
+
 }  // namespace
 }  // namespace lbb::core

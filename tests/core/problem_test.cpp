@@ -120,9 +120,15 @@ TEST(Partition, SortedWeights) {
 }  // namespace
 }  // namespace lbb::core
 
-// Appended: AnyProblem through the remaining algorithms.
+// Appended: AnyProblem through the remaining algorithms, plus the
+// ownership/storage contracts of the small-buffer + arena rewrite.
+#include <array>
+#include <type_traits>
+#include <utility>
+
 #include "core/ba.hpp"
 #include "core/ba_hf.hpp"
+#include "runtime/arena.hpp"
 
 namespace lbb::core {
 namespace {
@@ -148,6 +154,84 @@ TEST(AnyProblem, WrappedEqualsUnwrapped) {
   SyntheticProblem raw(9, AlphaDistribution::uniform(0.15, 0.5));
   auto wrapped = hf_partition(AnyProblem(raw), 32);
   auto plain = hf_partition(raw, 32);
+  EXPECT_EQ(wrapped.sorted_weights(), plain.sorted_weights());
+}
+
+// Ownership contract: move-only.  bisect() may consume the wrapped
+// problem, so a deep copy would be a correctness trap; callers wrap a copy
+// of the concrete problem instead.
+static_assert(!std::is_copy_constructible_v<AnyProblem>);
+static_assert(!std::is_copy_assignable_v<AnyProblem>);
+static_assert(std::is_nothrow_move_constructible_v<AnyProblem>);
+static_assert(std::is_nothrow_move_assignable_v<AnyProblem>);
+
+TEST(AnyProblem, MovedFromIsEmpty) {
+  AnyProblem a(HalvingProblem{8.0});
+  AnyProblem b(std::move(a));
+  EXPECT_FALSE(a.has_value());  // NOLINT(bugprone-use-after-move): contract
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(b.weight(), 8.0);
+
+  AnyProblem c;
+  c = std::move(b);
+  EXPECT_FALSE(b.has_value());  // NOLINT(bugprone-use-after-move): contract
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c.weight(), 8.0);
+}
+
+TEST(AnyProblem, MoveAssignOntoEngagedDestroysOldValue) {
+  AnyProblem a(HalvingProblem{2.0});
+  AnyProblem b(HalvingProblem{4.0});
+  a = std::move(b);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a.weight(), 4.0);
+  EXPECT_FALSE(b.has_value());  // NOLINT(bugprone-use-after-move): contract
+}
+
+// A problem too large for the inline buffer: falls back to a single heap
+// cell (or a caller-supplied arena below).
+struct PaddedProblem {
+  double w = 1.0;
+  std::array<double, 16> padding{};
+  [[nodiscard]] double weight() const { return w; }
+  [[nodiscard]] std::pair<PaddedProblem, PaddedProblem> bisect() const {
+    return {PaddedProblem{w / 2, padding}, PaddedProblem{w / 2, padding}};
+  }
+};
+static_assert(!AnyProblem::fits_inline_v<PaddedProblem>);
+static_assert(AnyProblem::fits_inline_v<HalvingProblem>);
+
+TEST(AnyProblem, OversizedProblemUsesRemoteStorage) {
+  AnyProblem any{PaddedProblem{8.0, {}}};
+  ASSERT_TRUE(any.has_value());
+  EXPECT_DOUBLE_EQ(any.weight(), 8.0);
+  auto [a, b] = any.bisect();
+  EXPECT_DOUBLE_EQ(a.weight(), 4.0);
+  EXPECT_DOUBLE_EQ(b.weight(), 4.0);
+  AnyProblem moved(std::move(a));
+  EXPECT_DOUBLE_EQ(moved.weight(), 4.0);
+}
+
+TEST(AnyProblem, ArenaBackedProblemAndChildren) {
+  runtime::MonotonicArena arena;
+  {
+    AnyProblem any(PaddedProblem{16.0, {}}, arena);
+    ASSERT_TRUE(any.has_value());
+    auto [a, b] = any.bisect();  // children inherit the arena
+    auto [aa, ab] = a.bisect();
+    EXPECT_DOUBLE_EQ(aa.weight() + ab.weight() + b.weight(), 16.0);
+    // Handles (and their destructors) die here; bytes stay in the arena.
+  }
+  EXPECT_GT(arena.bytes_used_peak(), 0u);
+  arena.reset();
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+TEST(AnyProblem, OversizedPartitionMatchesInlineEquivalent) {
+  // Same algorithm run through heap-backed erased storage must match the
+  // unwrapped run piece for piece.
+  auto wrapped = hf_partition(AnyProblem{PaddedProblem{32.0, {}}}, 8);
+  auto plain = hf_partition(PaddedProblem{32.0, {}}, 8);
   EXPECT_EQ(wrapped.sorted_weights(), plain.sorted_weights());
 }
 

@@ -1,0 +1,151 @@
+// Zero-allocation regression gate (ctest label `perf`).
+//
+// This binary links tools/alloc_probe/alloc_probe.cpp, so the global
+// operator new/delete are interposed and lbb::stats::alloc_stats() reports
+// live per-thread counters.  The gate asserts the core contract of the
+// trial-workspace subsystem: once a TrialWorkspace is warm, the HF / BA /
+// BA* / BA-HF hot loops perform EXACTLY ZERO heap allocations per
+// partition call -- scratch comes from the workspace, pieces from its pool,
+// and inline (small-buffer) erased problems bisect in place.
+//
+// If this test starts failing, some change re-introduced an allocation on
+// the per-trial path; find it before it lands (compare the
+// allocs_per_bisection counters of `lbb_bench micro_core`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/ba.hpp"
+#include "core/ba_hf.hpp"
+#include "core/hf.hpp"
+#include "core/problem.hpp"
+#include "core/workspace.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/alloc_stats.hpp"
+
+namespace lbb::core {
+namespace {
+
+using lbb::problems::AlphaDistribution;
+using lbb::problems::SyntheticProblem;
+
+constexpr std::int32_t kN = 1024;
+constexpr int kTrials = 16;
+
+SyntheticProblem make_problem(std::uint64_t seed) {
+  return SyntheticProblem(seed, AlphaDistribution::uniform(0.1, 0.5));
+}
+
+/// Runs `body(ws, trial)` kTrials times on a warm workspace and returns
+/// the allocation delta of the steady-state trials.
+template <typename Body>
+lbb::stats::AllocStats steady_state_allocs(Body&& body) {
+  TrialWorkspace<SyntheticProblem> ws;
+  // Warm-up: first calls size the scratch buffers, the piece pool, and the
+  // AlphaDistribution intern pool.  Two rounds so every lazily-grown buffer
+  // reaches its steady-state capacity.
+  for (int warm = 0; warm < 2; ++warm) body(ws, warm);
+  const auto before = lbb::stats::alloc_stats();
+  for (int t = 0; t < kTrials; ++t) body(ws, 100 + t);
+  return lbb::stats::alloc_stats() - before;
+}
+
+TEST(AllocGate, ProbeIsLinked) {
+  // If this fails the gate below would pass vacuously -- the probe TU must
+  // be compiled into this test binary (tests/CMakeLists.txt).
+  ASSERT_TRUE(lbb::stats::alloc_probe_linked());
+  const auto before = lbb::stats::alloc_stats();
+  // Call the replaced operator directly: a `new int` expression could be
+  // legally elided by the optimizer, a direct operator new call cannot.
+  void* p = ::operator new(64);
+  const auto delta = lbb::stats::alloc_stats() - before;
+  ::operator delete(p);
+  EXPECT_GE(delta.count, 1);
+  EXPECT_GE(delta.bytes, 64);
+}
+
+TEST(AllocGate, HfPartitionSteadyStateIsAllocationFree) {
+  const auto delta = steady_state_allocs(
+      [](TrialWorkspace<SyntheticProblem>& ws, std::uint64_t seed) {
+        auto part = hf_partition(ws, make_problem(seed), kN);
+        ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+        ws.recycle(std::move(part));
+        ws.reset();
+      });
+  EXPECT_EQ(delta.count, 0) << "HF hot loop allocated " << delta.bytes
+                            << " bytes across " << kTrials << " warm trials";
+}
+
+TEST(AllocGate, BaPartitionSteadyStateIsAllocationFree) {
+  const auto delta = steady_state_allocs(
+      [](TrialWorkspace<SyntheticProblem>& ws, std::uint64_t seed) {
+        auto part = ba_partition(ws, make_problem(seed), kN);
+        ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+        ws.recycle(std::move(part));
+        ws.reset();
+      });
+  EXPECT_EQ(delta.count, 0) << "BA hot loop allocated " << delta.bytes
+                            << " bytes across " << kTrials << " warm trials";
+}
+
+TEST(AllocGate, BaStarPartitionSteadyStateIsAllocationFree) {
+  const auto delta = steady_state_allocs(
+      [](TrialWorkspace<SyntheticProblem>& ws, std::uint64_t seed) {
+        auto part = ba_star_partition(ws, make_problem(seed), kN, 0.1);
+        ws.recycle(std::move(part));
+        ws.reset();
+      });
+  EXPECT_EQ(delta.count, 0);
+}
+
+TEST(AllocGate, BaHfPartitionSteadyStateIsAllocationFree) {
+  const auto delta = steady_state_allocs(
+      [](TrialWorkspace<SyntheticProblem>& ws, std::uint64_t seed) {
+        auto part =
+            ba_hf_partition(ws, make_problem(seed), kN, BaHfParams{0.1, 1.0});
+        ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+        ws.recycle(std::move(part));
+        ws.reset();
+      });
+  EXPECT_EQ(delta.count, 0) << "BA-HF hot loop allocated " << delta.bytes
+                            << " bytes across " << kTrials << " warm trials";
+}
+
+TEST(AllocGate, InlineErasedBisectIsAllocationFree) {
+  // Small-buffer path of AnyProblem: wrap + bisect of an inline problem
+  // must not touch the heap (children are built in place in the handles).
+  AnyProblem warm(make_problem(1));
+  auto warm_children = warm.bisect();
+  const auto before = lbb::stats::alloc_stats();
+  for (int t = 0; t < kTrials; ++t) {
+    AnyProblem erased(make_problem(static_cast<std::uint64_t>(t + 2)));
+    auto [a, b] = erased.bisect();
+    auto [aa, ab] = a.bisect();
+    AnyProblem moved(std::move(aa));
+    ASSERT_TRUE(moved.has_value());
+  }
+  const auto delta = lbb::stats::alloc_stats() - before;
+  EXPECT_EQ(delta.count, 0)
+      << "inline erased wrap/bisect/move allocated " << delta.bytes
+      << " bytes";
+}
+
+TEST(AllocGate, ArenaSteadyStateIsAllocationFree) {
+  // After the first trial sized its chunks, reset() + re-allocation of the
+  // same footprint must be pure pointer bumps.
+  runtime::MonotonicArena arena;
+  for (int i = 0; i < 64; ++i) (void)arena.create<double>(1.0);
+  arena.reset();
+  const auto before = lbb::stats::alloc_stats();
+  for (int t = 0; t < kTrials; ++t) {
+    for (int i = 0; i < 64; ++i) (void)arena.create<double>(1.0);
+    arena.reset();
+  }
+  const auto delta = lbb::stats::alloc_stats() - before;
+  EXPECT_EQ(delta.count, 0);
+}
+
+}  // namespace
+}  // namespace lbb::core

@@ -1,0 +1,136 @@
+// Property test: detail::HfHeap (inline 4-ary max-heap) against a
+// std::priority_queue reference with the identical comparator.
+//
+// HF's determinism guarantee rests on the heap popping in a unique order:
+// the priority (weight desc, seq asc) is a TOTAL order because seq is
+// unique, so *any* correct heap must pop the same sequence.  This test
+// drives both heaps with random interleaved push/pop streams -- including
+// heavy duplicate-weight runs, where only the seq tiebreak decides -- and
+// asserts entry-for-entry identical pop order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/detail/scratch.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::core::detail {
+namespace {
+
+/// std::priority_queue comparator equivalent to HfHeap's ordering:
+/// heavier first, earlier-created (smaller seq) wins ties.
+struct RefLess {
+  bool operator()(const HfHeapEntry& a, const HfHeapEntry& b) const {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.seq > b.seq;
+  }
+};
+
+using RefHeap =
+    std::priority_queue<HfHeapEntry, std::vector<HfHeapEntry>, RefLess>;
+
+void expect_same_entry(const HfHeapEntry& got, const HfHeapEntry& want,
+                       std::int64_t step) {
+  ASSERT_EQ(got.seq, want.seq) << "pop order diverged at step " << step;
+  ASSERT_EQ(got.weight, want.weight) << "at step " << step;
+  ASSERT_EQ(got.slot, want.slot) << "at step " << step;
+}
+
+/// Drives both heaps with the same stream: `push_bias` in [0,1] controls
+/// the push/pop mix, `weight_levels` == 0 means continuous weights, k > 0
+/// quantizes to k distinct values (dense ties).
+void run_stream(std::uint64_t seed, int steps, double push_bias,
+                int weight_levels) {
+  lbb::stats::Xoshiro256 rng(seed);
+  HfHeap heap;
+  RefHeap ref;
+  std::int64_t seq = 0;
+  for (int step = 0; step < steps; ++step) {
+    const bool do_push =
+        ref.empty() || rng.next_double() < push_bias;
+    if (do_push) {
+      double w = rng.next_double();
+      if (weight_levels > 0) {
+        w = static_cast<double>(static_cast<int>(w * weight_levels)) /
+            weight_levels;
+      }
+      const HfHeapEntry e{w, seq, static_cast<std::int32_t>(seq % 1000)};
+      ++seq;
+      heap.push(e);
+      ref.push(e);
+    } else {
+      ASSERT_FALSE(heap.empty());
+      expect_same_entry(heap.top(), ref.top(), step);
+      const HfHeapEntry got = heap.pop();
+      const HfHeapEntry want = ref.top();
+      ref.pop();
+      expect_same_entry(got, want, step);
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+  // Drain: the full remaining order must agree.
+  std::int64_t step = steps;
+  while (!ref.empty()) {
+    ASSERT_FALSE(heap.empty());
+    const HfHeapEntry got = heap.pop();
+    const HfHeapEntry want = ref.top();
+    ref.pop();
+    expect_same_entry(got, want, step++);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(HfHeapProperty, MatchesPriorityQueueContinuousWeights) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    run_stream(seed, 2000, 0.6, /*weight_levels=*/0);
+  }
+}
+
+TEST(HfHeapProperty, MatchesPriorityQueueDenseTies) {
+  // Few distinct weights: nearly every comparison falls through to the seq
+  // tiebreak, the regime where a sloppy heap diverges.
+  for (std::uint64_t seed = 100; seed <= 120; ++seed) {
+    run_stream(seed, 2000, 0.6, /*weight_levels=*/3);
+  }
+}
+
+TEST(HfHeapProperty, MatchesPriorityQueueAllEqualWeights) {
+  // Degenerate case: one weight level, pure FIFO by seq.
+  run_stream(7, 4000, 0.55, /*weight_levels=*/1);
+}
+
+TEST(HfHeapProperty, MatchesPriorityQueuePopHeavy) {
+  // Pop-biased stream exercises deep sift-downs on a shrinking heap.
+  for (std::uint64_t seed = 200; seed <= 210; ++seed) {
+    run_stream(seed, 3000, 0.35, /*weight_levels=*/5);
+  }
+}
+
+TEST(HfHeapProperty, HfPushPopInterleavingPattern) {
+  // The exact pattern hf_run drives: pop one, push two, until n entries.
+  lbb::stats::Xoshiro256 rng(42);
+  HfHeap heap;
+  RefHeap ref;
+  std::int64_t seq = 0;
+  const auto push_both = [&](double w) {
+    const HfHeapEntry e{w, seq, static_cast<std::int32_t>(seq)};
+    ++seq;
+    heap.push(e);
+    ref.push(e);
+  };
+  push_both(1.0);
+  while (heap.size() < 4096) {
+    expect_same_entry(heap.top(), ref.top(), seq);
+    const double w = heap.pop().weight;
+    ref.pop();
+    const double a = 0.1 + 0.4 * rng.next_double();
+    push_both(w * (1.0 - a));
+    push_both(w * a);
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace lbb::core::detail

@@ -1,0 +1,119 @@
+// Interposing allocation probe: global operator new/delete replacement
+// with per-thread counters, plus STRONG definitions of the
+// lbb::stats::alloc_stats() API that override the weak zeros in
+// stats/alloc_stats.cpp.
+//
+// Compile this translation unit directly into a binary (lbb_bench, the
+// zero-allocation gate test) to turn its allocation counters live; do NOT
+// put it in a library -- replacing the global allocator is a whole-program
+// decision each binary makes explicitly.  In bench/CMakeLists.txt this TU
+// must stay LAST in the source list (see the vague-linkage note there).
+//
+// The counters are thread_local, so alloc_stats() attributes allocations to
+// the calling thread only; a worker thread's trial-chunk deltas never see
+// another thread's traffic.  Counting is a relaxed increment on two
+// thread-locals -- cheap enough that benchmark numbers from probed binaries
+// stay comparable to unprobed ones (the BENCH baselines are produced with
+// the probe linked).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "stats/alloc_stats.hpp"
+
+namespace {
+
+struct Counters {
+  std::int64_t count = 0;
+  std::int64_t bytes = 0;
+  std::int64_t frees = 0;
+};
+
+thread_local Counters g_counters;
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_counters.count += 1;
+  g_counters.bytes += static_cast<std::int64_t>(size);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_nothrow(std::size_t size, std::size_t align) noexcept {
+  g_counters.count += 1;
+  g_counters.bytes += static_cast<std::int64_t>(size);
+  return align > alignof(std::max_align_t)
+             ? std::aligned_alloc(align, (size + align - 1) / align * align)
+             : std::malloc(size);
+}
+
+void counted_free(void* p) noexcept {
+  if (p != nullptr) g_counters.frees += 1;
+  std::free(p);
+}
+
+}  // namespace
+
+namespace lbb::stats {
+
+// Strong definitions: override the weak defaults in stats/alloc_stats.cpp.
+AllocStats alloc_stats() noexcept {
+  return AllocStats{g_counters.count, g_counters.bytes, g_counters.frees};
+}
+
+void reset_alloc_stats() noexcept { g_counters = Counters{}; }
+
+bool alloc_probe_linked() noexcept { return true; }
+
+}  // namespace lbb::stats
+
+// ---- global allocator replacement ----------------------------------------
+
+void* operator new(std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

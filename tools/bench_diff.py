@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--band 0.15]
+
+Cells are matched by (experiment name, algo, log2_n).  For each matched cell
+the script compares:
+
+  * wall_seconds / bisections_per_sec -- timing, judged against a relative
+    noise band (default +/-15%): wall-clock numbers from a shared machine
+    jitter, so only excursions beyond the band count as regressions.
+  * alloc_count / alloc_bytes -- allocation accounting from the interposing
+    probe.  These are near-deterministic (workspace warm-up residue only),
+    so ANY increase in alloc_count is flagged: the whole point of the
+    zero-alloc hot path is that this number does not creep back up.
+
+Exit status: 0 if no regression, 1 if any cell regressed, 2 on usage or
+input errors.  Cells present in only one report are listed but do not fail
+the diff (grid changes are legitimate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    """Returns ({(experiment, algo, log2_n): cell}, report-level metadata)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    cells = {}
+    for exp in report.get("experiments", []):
+        for cell in exp.get("cells", []):
+            key = (exp.get("name", "?"), cell.get("algo", "?"),
+                   cell.get("log2_n", -1))
+            cells[key] = cell
+    meta = {k: report.get(k) for k in ("benchmark", "threads", "trials",
+                                       "alloc_probe")}
+    return cells, meta
+
+
+def rel_change(base, cand):
+    if base == 0:
+        return float("inf") if cand != 0 else 0.0
+    return (cand - base) / base
+
+
+def fmt_pct(x):
+    if x == float("inf"):
+        return "+inf"
+    return f"{x:+.1%}"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two lbb_bench perf_report JSON files.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--band", type=float, default=0.15,
+                        help="relative noise band for timing metrics "
+                             "(default 0.15 = +/-15%%)")
+    args = parser.parse_args(argv)
+
+    base_cells, base_meta = load_cells(args.baseline)
+    cand_cells, cand_meta = load_cells(args.candidate)
+
+    if base_meta.get("threads") != cand_meta.get("threads"):
+        print(f"note: thread counts differ "
+              f"({base_meta.get('threads')} vs {cand_meta.get('threads')}); "
+              f"alloc counts include per-thread warm-up and may shift")
+    if not cand_meta.get("alloc_probe", False):
+        print("note: candidate was built WITHOUT the alloc probe; "
+              "alloc columns are all zero and not comparable")
+
+    regressions = []
+    rows = []
+    for key in sorted(base_cells.keys() | cand_cells.keys()):
+        exp, algo, log2_n = key
+        label = f"{exp} {algo} n=2^{log2_n}"
+        if key not in base_cells:
+            rows.append((label, "only in candidate", ""))
+            continue
+        if key not in cand_cells:
+            rows.append((label, "only in baseline", ""))
+            continue
+        b, c = base_cells[key], cand_cells[key]
+
+        wall = rel_change(b.get("wall_seconds", 0), c.get("wall_seconds", 0))
+        rate = rel_change(b.get("bisections_per_sec", 0),
+                          c.get("bisections_per_sec", 0))
+        dcount = c.get("alloc_count", 0) - b.get("alloc_count", 0)
+        dbytes = c.get("alloc_bytes", 0) - b.get("alloc_bytes", 0)
+
+        verdicts = []
+        # Slower wall time / lower throughput beyond the band = regression.
+        if wall > args.band:
+            verdicts.append(f"wall {fmt_pct(wall)} > band")
+        if rate < -args.band:
+            verdicts.append(f"rate {fmt_pct(rate)} < band")
+        if (base_meta.get("alloc_probe") and cand_meta.get("alloc_probe")
+                and dcount > 0):
+            verdicts.append(f"alloc_count +{dcount}")
+        status = "REGRESSED: " + "; ".join(verdicts) if verdicts else "ok"
+        if verdicts:
+            regressions.append(label)
+        rows.append((label,
+                     f"wall {fmt_pct(wall)}  rate {fmt_pct(rate)}  "
+                     f"allocs {dcount:+d} ({dbytes:+d} B)",
+                     status))
+
+    width = max((len(r[0]) for r in rows), default=0)
+    for label, detail, status in rows:
+        print(f"{label:<{width}}  {detail}  {status}".rstrip())
+
+    if regressions:
+        print(f"\n{len(regressions)} cell(s) regressed "
+              f"(band {args.band:.0%}):")
+        for label in regressions:
+            print(f"  {label}")
+        return 1
+    print(f"\nno regressions ({len(rows)} cells, band {args.band:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,6 +20,12 @@
 # (likewise asan / asan-sim and tsan / tsan-sim).  The fault-injection
 # tests (sim_fault_model_test) assert the same thread-count determinism for
 # degraded simulations that this script asserts for the experiment engine.
+# The asan-core test preset (labels core|runtime|perf|property) puts the
+# arena / small-buffer AnyProblem / TrialWorkspace code and the
+# zero-allocation gate under AddressSanitizer:
+#
+#   cmake --preset asan && cmake --build --preset asan -j
+#   ctest --preset asan-core
 set -eu
 
 LBB=${1:?usage: check_determinism.sh <lbb_bench-binary>}
