@@ -42,6 +42,9 @@ const std::vector<Experiment>& experiments() {
        run_noise_robustness},
       {"fem_speedup", "",
        "end-to-end speedups on adaptive FEM refinement trees", run_fem_speedup},
+      {"par_speedup", "",
+       "measured vs simulator-predicted speedup of the par:* partitioners",
+       run_par_speedup},
       {"perf_report", "",
        "machine-readable perf snapshot (BENCH_ratio_experiment.json)",
        run_perf_report},

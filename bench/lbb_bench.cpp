@@ -16,6 +16,7 @@
 #include "bench/experiment_registry.hpp"
 #include "core/partitioner.hpp"
 #include "core/run_context.hpp"
+#include "runtime/par_partitioners.hpp"
 #include "sim/partitioners.hpp"
 
 namespace {
@@ -44,8 +45,10 @@ void print_usage(std::ostream& os) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Make the sim-layer names ("phf:*", "sim:*") resolvable everywhere.
+  // Make the sim-layer ("phf:*", "sim:*") and work-stealing ("par:*")
+  // names resolvable everywhere.
   lbb::sim::register_sim_partitioners();
+  lbb::runtime::register_par_partitioners();
 
   if (argc < 2) {
     print_usage(std::cerr);

@@ -12,6 +12,8 @@
 //   "phf:oracle|ba_prime|probe"  PHF on the simulated machine
 //                                (registered by sim::register_sim_partitioners)
 //   "sim:ba|ba_star|ba_hf"       BA-family simulated executions (ditto)
+//   "par:ba|ba_star|ba_hf"       BA-family on the real work-stealing pool
+//                                (runtime::register_par_partitioners)
 //
 // A Partitioner runs through the type-erased interface
 // run(RunContext&, AnyProblem, n) -> Partition<AnyProblem>; the hot
@@ -62,6 +64,10 @@ struct PartitionerConfig {
   double beta = 1.0;        ///< BA-HF threshold parameter
   std::uint64_t seed = 0;   ///< randomized strategies (0: derive from ctx)
   PartitionOptions options; ///< e.g. record_tree for conformance checks
+  /// Worker threads for the par:* families (0 = hardware_concurrency);
+  /// ignored by sequential and simulated strategies.  Output is identical
+  /// for every value -- this only changes the execution schedule.
+  std::int32_t threads = 0;
 };
 
 /// Builtin algorithm kinds the typed escape hatch can monomorphize.

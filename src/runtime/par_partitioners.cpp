@@ -1,0 +1,146 @@
+#include "runtime/par_partitioners.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/partitioner.hpp"
+#include "runtime/par_partition.hpp"
+#include "stats/alloc_stats.hpp"
+
+namespace lbb::runtime {
+
+namespace {
+
+using lbb::core::AnyProblem;
+using lbb::core::Partition;
+using lbb::core::Partitioner;
+using lbb::core::PartitionerConfig;
+using lbb::core::PartitionerInfo;
+using lbb::core::PartitionerRegistry;
+using lbb::core::RunContext;
+
+class ParPartitioner final : public Partitioner {
+ public:
+  ParPartitioner(PartitionerInfo info, detail::ParFamily family,
+                 const PartitionerConfig& config)
+      : info_(std::move(info)), family_(family), config_(config) {}
+
+  [[nodiscard]] const PartitionerInfo& info() const override { return info_; }
+
+  [[nodiscard]] Partition<AnyProblem> run(RunContext& ctx, AnyProblem problem,
+                                          std::int32_t n) const override {
+    ctx.checkpoint();
+    WorkStealingPool& pool = shared_pool(config_.threads);
+    ParOptions opt;
+    opt.partition = config_.options;
+    ParStats stats;
+    // Caller-side allocations measured here; worker-side ones arrive
+    // through stats.alloc_* (the pool attributes per-thread deltas to the
+    // job -- see WorkStealingPool::execute).
+    const auto allocs_before = lbb::stats::alloc_stats();
+    Partition<AnyProblem> out = [&] {
+      switch (family_) {
+        case detail::ParFamily::kBaStar:
+          return par_ba_star_partition(pool, std::move(problem), n,
+                                       config_.alpha, opt, &stats);
+        case detail::ParFamily::kBaHf:
+          return par_ba_hf_partition(
+              pool, std::move(problem), n,
+              core::BaHfParams{config_.alpha, config_.beta}, opt, &stats);
+        case detail::ParFamily::kBa:
+          break;
+      }
+      return par_ba_partition(pool, std::move(problem), n, opt, &stats);
+    }();
+    const auto allocs = lbb::stats::alloc_stats() - allocs_before;
+    ctx.metrics.partitions += 1;
+    ctx.metrics.bisections += out.bisections;
+    ctx.metrics.alloc_count += allocs.count + stats.alloc_count;
+    ctx.metrics.alloc_bytes += allocs.bytes + stats.alloc_bytes;
+    ctx.counter("alloc.count",
+                static_cast<double>(allocs.count + stats.alloc_count));
+    ctx.counter("alloc.bytes",
+                static_cast<double>(allocs.bytes + stats.alloc_bytes));
+    ctx.counter("par.threads", static_cast<double>(pool.size()));
+    ctx.counter("par.grain", static_cast<double>(stats.grain));
+    ctx.counter("par.spawns", static_cast<double>(stats.spawns));
+    ctx.counter("par.steals", static_cast<double>(stats.steals));
+    ctx.counter("par.idle_ns", static_cast<double>(stats.idle_ns));
+    return out;
+  }
+
+  /// Identical output to the sequential family, so its bound applies.
+  [[nodiscard]] double ratio_bound(std::int32_t n) const override {
+    switch (family_) {
+      case detail::ParFamily::kBa:
+        return lbb::core::ba_ratio_bound(config_.alpha, n);
+      case detail::ParFamily::kBaStar:
+        return lbb::core::ba_star_ratio_bound(config_.alpha, n);
+      case detail::ParFamily::kBaHf:
+        return lbb::core::ba_hf_ratio_bound(config_.alpha, config_.beta, n);
+    }
+    return 0.0;
+  }
+
+ private:
+  PartitionerInfo info_;
+  detail::ParFamily family_;
+  PartitionerConfig config_;
+};
+
+struct ParEntry {
+  PartitionerInfo info;
+  detail::ParFamily family;
+};
+
+const ParEntry kParEntries[] = {
+    {{"par:ba", "BA(par)",
+      "Algorithm BA on the work-stealing thread pool (byte-identical to ba)"},
+     detail::ParFamily::kBa},
+    {{"par:ba_star", "BA*(par)",
+      "Algorithm BA' on the work-stealing thread pool (phase-1 pruning)"},
+     detail::ParFamily::kBaStar},
+    {{"par:ba_hf", "BA-HF(par)",
+      "Algorithm BA-HF on the work-stealing thread pool"},
+     detail::ParFamily::kBaHf},
+};
+
+}  // namespace
+
+WorkStealingPool& shared_pool(std::int32_t threads) {
+  static std::mutex mu;
+  static std::map<std::int32_t, std::unique_ptr<WorkStealingPool>> pools;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? static_cast<std::int32_t>(hw) : 1;
+  }
+  std::scoped_lock lock(mu);
+  auto& slot = pools[threads];
+  if (slot == nullptr) {
+    slot = std::make_unique<WorkStealingPool>(
+        static_cast<unsigned>(threads));
+  }
+  return *slot;
+}
+
+void register_par_partitioners() {
+  static const bool done = [] {
+    auto& registry = PartitionerRegistry::instance();
+    for (const ParEntry& entry : kParEntries) {
+      registry.add(entry.info, [&entry](const PartitionerConfig& config) {
+        return std::make_unique<ParPartitioner>(entry.info, entry.family,
+                                                config);
+      });
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace lbb::runtime

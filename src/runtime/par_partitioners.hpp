@@ -1,0 +1,31 @@
+// Registry hook and pool sharing for the par:* partitioner families
+// (work-stealing BA / BA' / BA-HF on real threads; par_partition.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/work_stealing.hpp"
+
+namespace lbb::runtime {
+
+/// Process-wide shared pool for a given worker count (0 = hardware
+/// concurrency, min 1).  Pools are created on first use and live until
+/// process exit; distinct thread counts get distinct pools so benchmark
+/// sweeps across {1,2,4,8} threads measure genuinely different pools.
+[[nodiscard]] WorkStealingPool& shared_pool(std::int32_t threads = 0);
+
+/// Registers par:ba, par:ba_star and par:ba_hf in the global
+/// PartitionerRegistry.  Idempotent; call before resolving names
+/// (lbb_bench does this at startup, next to the sim registration).
+///
+/// The registered partitioners run through the type-erased AnyProblem
+/// interface on shared_pool(config.threads) and report par.spawns /
+/// par.steals / par.idle_ns counters through the RunContext sink.  Their
+/// output is byte-identical to the sequential ba / ba_star / ba_hf
+/// partitioners for every thread count.  Note: arena-backed AnyProblems
+/// must not cross threads (MonotonicArena is single-threaded); pass
+/// heap/inline-backed problems, which is what every caller in this repo
+/// constructs.
+void register_par_partitioners();
+
+}  // namespace lbb::runtime

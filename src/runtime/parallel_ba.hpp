@@ -1,121 +1,45 @@
-// Algorithm BA on real threads.
+// DEPRECATED Algorithm-BA-on-real-threads entry point.
 //
-// BA is "inherently parallel": after each bisection the two recursive
-// calls are independent (Figure 3: "These recursive calls can be executed
-// in parallel on different processors").  This runs the recursion as tasks
-// on a ThreadPool -- each bisection spawns a subtask for the lighter child
-// -- and produces exactly the same partition as the sequential
-// lbb::core::ba_partition (asserted by tests), demonstrating that the
-// algorithm needs no coordination beyond its processor ranges.
+// The original implementation here (a std::function-recursive task on
+// ThreadPool) had three documented limitations: it required
+// std::copy_constructible problems, could not record the BisectionTree,
+// and joined via pool.wait_idle() -- forbidding unrelated concurrent pool
+// use.  All three are gone: the work-stealing runtime (work_stealing.hpp +
+// par_partition.hpp) runs the same recursion allocation-free with per-job
+// joins and byte-identical sequential output, tree included.
 //
-// Note: this parallelizes the *partitioning* itself (useful when bisection
-// is expensive, e.g. FE-tree separators or quadrature counting), which is
-// distinct from sim/par_ba.hpp (simulated time accounting) and from
-// runtime/executor.hpp (running the resulting pieces).
+// This header remains as a thin compatibility alias.  New code should call
+// par_ba_partition(shared_pool(...), ...) directly -- or go through the
+// registry as "par:ba" -- which also exposes BA'/BA-HF, ParStats counters
+// and tree recording.
 #pragma once
 
-#include <algorithm>
-#include <concepts>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
-#include <utility>
-#include <vector>
 
 #include "core/partition.hpp"
 #include "core/problem.hpp"
-#include "core/split.hpp"
+#include "runtime/par_partition.hpp"
+#include "runtime/par_partitioners.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace lbb::runtime {
 
-/// Partitions `problem` into exactly `n` subproblems with Algorithm BA,
-/// executing independent recursive calls concurrently on `pool`.
-/// `problem` must be copyable into tasks (P needs to be movable; it is
-/// moved along the recursion).  Tree recording is not supported here
-/// (pieces carry depth but node == kNoNode).
-/// P must additionally be copy-constructible (tasks are stored in
-/// std::function).  pool.wait_idle() is used as the join point, so the
-/// pool must not run unrelated tasks concurrently with this call.
+/// Partitions `problem` into exactly `n` subproblems with Algorithm BA on
+/// worker threads; byte-identical to lbb::core::ba_partition.
+///
+/// Deprecated alias over par_ba_partition: `pool` only determines the
+/// worker count (the work runs on shared_pool(pool.size()), not on `pool`
+/// -- the old wait_idle() join is gone, so `pool` may keep serving
+/// unrelated tasks concurrently).  P no longer needs to be
+/// copy-constructible.
 template <lbb::core::Bisectable P>
-  requires std::copy_constructible<P>
+[[deprecated("use par_ba_partition(shared_pool(...), ...) or the "
+             "\"par:ba\" registry entry")]]
 [[nodiscard]] lbb::core::Partition<P> parallel_ba_partition(P problem,
                                                             std::int32_t n,
                                                             ThreadPool& pool) {
-  using lbb::core::Piece;
-  if (n < 1) {
-    throw std::invalid_argument("parallel_ba_partition: n must be >= 1");
-  }
-  lbb::core::Partition<P> out;
-  out.processors = n;
-  out.total_weight = problem.weight();
-  out.pieces.reserve(static_cast<std::size_t>(n));
-
-  struct Shared {
-    std::mutex mutex;
-    std::vector<Piece<P>> pieces;
-    std::int64_t bisections = 0;
-    std::int32_t max_depth = 0;
-  };
-  auto shared = std::make_shared<Shared>();
-  shared->pieces.reserve(static_cast<std::size_t>(n));
-
-  // The recursive task.  Declared as a std::function so it can submit
-  // itself; captured by value into each submission.
-  struct Runner {
-    std::shared_ptr<Shared> shared;
-    ThreadPool* pool;
-
-    void operator()(P problem, std::int32_t n, std::int32_t proc_lo,
-                    std::int32_t depth) const {
-      // Iterate on the heavier child, spawn tasks for the lighter one.
-      for (;;) {
-        if (n == 1) {
-          const double w = problem.weight();
-          std::scoped_lock lock(shared->mutex);
-          shared->pieces.push_back(Piece<P>{std::move(problem), w, proc_lo,
-                                            depth, lbb::core::kNoNode});
-          return;
-        }
-        auto [a, b] = problem.bisect();
-        double wa = a.weight();
-        double wb = b.weight();
-        if (wa < wb) {
-          std::swap(a, b);
-          std::swap(wa, wb);
-        }
-        const std::int32_t n1 = lbb::core::ba_split_processors(wa, wb, n);
-        ++depth;
-        {
-          std::scoped_lock lock(shared->mutex);
-          ++shared->bisections;
-          shared->max_depth = std::max(shared->max_depth, depth);
-        }
-        Runner self{shared, pool};
-        // Pass small data by value into the task (CP.31).
-        pool->submit([self, child = std::move(b), count = n - n1,
-                      proc = proc_lo + n1, depth]() mutable {
-          self(std::move(child), count, proc, depth);
-        });
-        problem = std::move(a);
-        n = n1;
-      }
-    }
-  };
-
-  Runner{shared, &pool}(std::move(problem), n, 0, 0);
-  pool.wait_idle();
-
-  out.pieces = std::move(shared->pieces);
-  out.bisections = shared->bisections;
-  out.max_depth = shared->max_depth;
-  // Deterministic order regardless of scheduling.
-  std::sort(out.pieces.begin(), out.pieces.end(),
-            [](const Piece<P>& x, const Piece<P>& y) {
-              return x.processor < y.processor;
-            });
-  return out;
+  return par_ba_partition(shared_pool(static_cast<std::int32_t>(pool.size())),
+                          std::move(problem), n);
 }
 
 }  // namespace lbb::runtime

@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(UniqueFunction task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
   {
     std::scoped_lock lock(mutex_);
@@ -55,7 +55,7 @@ std::size_t ThreadPool::suppressed_exception_count() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    UniqueFunction task;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(

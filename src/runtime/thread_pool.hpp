@@ -17,14 +17,14 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <future>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "runtime/unique_function.hpp"
 
 namespace lbb::runtime {
 
@@ -40,20 +40,33 @@ class ThreadPool {
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
 
-  /// Enqueues a task.  Thread-safe.
-  void submit(std::function<void()> task);
+  /// Enqueues a task (any void() callable, move-only included).
+  /// Thread-safe.
+  void submit(UniqueFunction task);
 
   /// Enqueues a callable and returns a future for its result.  Exceptions
   /// thrown by `fn` are delivered through the future (std::future::get
   /// rethrows them); they do NOT count as pool errors and are never
-  /// rethrown from wait_idle().
+  /// rethrown from wait_idle().  `fn` may be move-only; the task is stored
+  /// once (UniqueFunction), with no shared_ptr/packaged_task indirection.
   template <typename F>
   [[nodiscard]] auto submit_task(F fn)
       -> std::future<std::invoke_result_t<F&>> {
     using R = std::invoke_result_t<F&>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
-    std::future<R> result = task->get_future();
-    submit([task]() mutable { (*task)(); });
+    std::promise<R> promise;
+    std::future<R> result = promise.get_future();
+    submit([fn = std::move(fn), promise = std::move(promise)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          promise.set_value();
+        } else {
+          promise.set_value(fn());
+        }
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    });
     return result;
   }
 
@@ -81,7 +94,7 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<UniqueFunction> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;

@@ -1,0 +1,127 @@
+// Move-only type-erased `void()` callable with small-buffer storage.
+//
+// Replaces std::function<void()> in ThreadPool's queue: std::function
+// requires copy-constructible targets, which forced submit_task() to wrap
+// every task in a std::shared_ptr<std::packaged_task> -- one control-block
+// allocation plus one task allocation per submission, and a double
+// indirection on invocation.  UniqueFunction stores move-only callables
+// directly (promise-capturing lambdas, unique_ptr captures), inline when
+// they fit the small buffer, and invokes through a single vtable hop --
+// the same erasure scheme as core::AnyProblem.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lbb::runtime {
+
+class UniqueFunction {
+  /// Sized for the common submit_task lambda: the user callable plus a
+  /// moved-in std::promise (one shared-state pointer).
+  static constexpr std::size_t kInlineSize = 48;
+
+  template <typename F>
+  static constexpr bool fits_inline_v =
+      sizeof(F) <= kInlineSize &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ public:
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Wraps any `void()`-invocable, move-constructible callable.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  UniqueFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) =
+          new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  /// Invokes the target; undefined when empty (callers check bool first).
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(std::byte*);
+    void (*destroy)(std::byte*) noexcept;
+    /// Moves the target from src storage into dst storage and destroys
+    /// the src (pointer copy for heap targets -- ownership transfer).
+    void (*relocate)(std::byte* src, std::byte* dst) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](std::byte* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); },
+      [](std::byte* buf) noexcept {
+        std::launder(reinterpret_cast<D*>(buf))->~D();
+      },
+      [](std::byte* src, std::byte* dst) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (static_cast<void*>(dst)) D(std::move(*from));
+        from->~D();
+      }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](std::byte* buf) {
+        (**std::launder(reinterpret_cast<D**>(buf)))();
+      },
+      [](std::byte* buf) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(buf));
+      },
+      [](std::byte* src, std::byte* dst) noexcept {
+        *reinterpret_cast<D**>(dst) = *std::launder(
+            reinterpret_cast<D**>(src));
+      }};
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(alignof(std::max_align_t)) std::byte buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace lbb::runtime

@@ -38,6 +38,7 @@
 #include "problems/pivot_list.hpp"
 #include "problems/quadrature.hpp"
 #include "problems/synthetic.hpp"
+#include "runtime/par_partitioners.hpp"
 #include "sim/partitioners.hpp"
 
 namespace lbb::core {
@@ -51,11 +52,13 @@ using lbb::problems::SyntheticProblem;
 
 TEST(PartitionerRegistry, ContainsEveryBuiltinFamily) {
   lbb::sim::register_sim_partitioners();
+  lbb::runtime::register_par_partitioners();
   auto& reg = PartitionerRegistry::instance();
   for (const char* name :
        {"hf", "ba", "ba_star", "ba_hf", "oblivious:bfs", "oblivious:dfs",
         "oblivious:random", "phf:oracle", "phf:ba_prime", "phf:probe",
-        "sim:ba", "sim:ba_star", "sim:ba_hf"}) {
+        "sim:ba", "sim:ba_star", "sim:ba_hf", "par:ba", "par:ba_star",
+        "par:ba_hf"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
   EXPECT_FALSE(reg.contains("no_such_partitioner"));
@@ -254,15 +257,17 @@ std::vector<ProblemSpec> problem_specs() {
 
 TEST(PartitionerConformance, EveryProblemTypeTimesEveryPartitioner) {
   lbb::sim::register_sim_partitioners();
+  lbb::runtime::register_par_partitioners();
   auto& reg = PartitionerRegistry::instance();
   const auto specs = problem_specs();
-  ASSERT_GE(reg.list().size(), 13u);
+  ASSERT_GE(reg.list().size(), 16u);
   for (const auto& spec : specs) {
     for (const auto& info : reg.list()) {
       PartitionerConfig config;
       config.alpha = 0.2;
       config.seed = 0x51ab5eedULL;  // fixed: oblivious:random / phf:probe
       config.options.record_tree = true;
+      config.threads = 2;  // par:* families run genuinely multithreaded
       const auto part = reg.create(info.name, config);
       for (const std::int32_t n : spec.n_values) {
         SCOPED_TRACE(spec.name + " x " + info.name +
@@ -285,6 +290,59 @@ TEST(PartitionerConformance, EveryProblemTypeTimesEveryPartitioner) {
         // Context accounting: the run reported its bisections.
         EXPECT_EQ(ctx.metrics.bisections, result.bisections);
         EXPECT_EQ(ctx.metrics.partitions, 1);
+      }
+    }
+  }
+}
+
+// The tentpole acceptance check: for every registered problem type, the
+// par:* partitioners produce BYTE-identical output (pieces in order, with
+// exact weights, processors, depths, node links, and the full recorded
+// BisectionTree) to their sequential counterparts, at every thread count.
+TEST(PartitionerConformance, ParPartitionersMatchSequentialCounterparts) {
+  lbb::runtime::register_par_partitioners();
+  auto& reg = PartitionerRegistry::instance();
+  const std::pair<const char*, const char*> pairs[] = {
+      {"par:ba", "ba"}, {"par:ba_star", "ba_star"}, {"par:ba_hf", "ba_hf"}};
+  const auto specs = problem_specs();
+  for (const auto& spec : specs) {
+    for (const auto& [par_name, seq_name] : pairs) {
+      for (const std::int32_t threads : {1, 2, 4, 8}) {
+        PartitionerConfig config;
+        config.alpha = 0.2;
+        config.options.record_tree = true;
+        config.threads = threads;
+        const auto par_part = reg.create(par_name, config);
+        const auto seq_part = reg.create(seq_name, config);
+        for (const std::int32_t n : spec.n_values) {
+          SCOPED_TRACE(spec.name + ": " + par_name + " vs " + seq_name +
+                       " threads=" + std::to_string(threads) +
+                       " n=" + std::to_string(n));
+          RunContext par_ctx(17);
+          RunContext seq_ctx(17);
+          const auto par = par_part->run(par_ctx, spec.make(), n);
+          const auto seq = seq_part->run(seq_ctx, spec.make(), n);
+          EXPECT_EQ(par.total_weight, seq.total_weight);
+          EXPECT_EQ(par.bisections, seq.bisections);
+          EXPECT_EQ(par.max_depth, seq.max_depth);
+          ASSERT_EQ(par.pieces.size(), seq.pieces.size());
+          for (std::size_t i = 0; i < seq.pieces.size(); ++i) {
+            EXPECT_EQ(par.pieces[i].weight, seq.pieces[i].weight) << i;
+            EXPECT_EQ(par.pieces[i].processor, seq.pieces[i].processor) << i;
+            EXPECT_EQ(par.pieces[i].depth, seq.pieces[i].depth) << i;
+            EXPECT_EQ(par.pieces[i].node, seq.pieces[i].node) << i;
+          }
+          ASSERT_EQ(par.tree.size(), seq.tree.size());
+          for (std::size_t id = 0; id < seq.tree.size(); ++id) {
+            const auto& a = par.tree.node(static_cast<NodeId>(id));
+            const auto& b = seq.tree.node(static_cast<NodeId>(id));
+            EXPECT_EQ(a.weight, b.weight) << id;
+            EXPECT_EQ(a.parent, b.parent) << id;
+            EXPECT_EQ(a.left, b.left) << id;
+            EXPECT_EQ(a.right, b.right) << id;
+            EXPECT_EQ(a.depth, b.depth) << id;
+          }
+        }
       }
     }
   }

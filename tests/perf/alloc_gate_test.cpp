@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/ba.hpp"
 #include "core/ba_hf.hpp"
@@ -23,6 +24,8 @@
 #include "core/workspace.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
+#include "runtime/par_partition.hpp"
+#include "runtime/work_stealing.hpp"
 #include "stats/alloc_stats.hpp"
 
 namespace lbb::core {
@@ -130,6 +133,94 @@ TEST(AllocGate, InlineErasedBisectIsAllocationFree) {
   EXPECT_EQ(delta.count, 0)
       << "inline erased wrap/bisect/move allocated " << delta.bytes
       << " bytes";
+}
+
+// ---------------------------------------------------------------------------
+// Parallel path (ISSUE 6): the warm work-stealing runtime must allocate
+// nothing per partition call -- task frames live in pre-allocated slots,
+// terminal scratch in worker-thread-local workspaces, staging in the
+// caller's thread-local scratch, pieces in the caller's TrialWorkspace.
+// Allocation attribution is two-sided: the caller measures its own thread's
+// delta; worker-side deltas are accumulated into the job by the pool and
+// surface as ParStats::alloc_count.
+
+/// One warm parallel trial; returns caller-delta plus job-attributed
+/// worker allocations.
+template <typename Run>
+std::int64_t par_trial_allocs(Run&& run) {
+  const auto before = lbb::stats::alloc_stats();
+  runtime::ParStats stats;
+  run(&stats);
+  const auto caller = lbb::stats::alloc_stats() - before;
+  return caller.count + stats.alloc_count;
+}
+
+TEST(AllocGate, ParBaSteadyStateIsAllocationFree) {
+  // A single-worker pool makes worker-side warm-up deterministic: the one
+  // worker executes every terminal, so two rounds size its thread-local
+  // workspace exactly like the sequential gates above.
+  runtime::WorkStealingPool pool(1);
+  TrialWorkspace<SyntheticProblem> ws;
+  const auto run = [&](runtime::ParStats* stats) {
+    auto part =
+        runtime::par_ba_partition(pool, ws, make_problem(3), kN, {}, stats);
+    ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+    ws.recycle(std::move(part));
+  };
+  for (int warm = 0; warm < 2; ++warm) run(nullptr);
+  for (int t = 0; t < kTrials; ++t) {
+    EXPECT_EQ(par_trial_allocs(run), 0) << "trial " << t;
+  }
+}
+
+TEST(AllocGate, ParBaHfSteadyStateIsAllocationFree) {
+  runtime::WorkStealingPool pool(1);
+  const BaHfParams params{0.1, 1.0};
+  TrialWorkspace<SyntheticProblem> ws;
+  std::vector<Piece<SyntheticProblem>> recycled;
+  const auto run = [&](runtime::ParStats* stats) {
+    auto part = runtime::par_ba_hf_partition(pool, make_problem(5), kN,
+                                             params, {}, stats);
+    ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+    recycled = std::move(part.pieces);  // keep capacity live across trials
+  };
+  for (int warm = 0; warm < 2; ++warm) run(nullptr);
+  // The workspace-free overload allocates the output pieces vector per
+  // call by design; everything else must be silent.  Hold the previous
+  // vector so the allocator sees a steady malloc/free pattern, and allow
+  // exactly that one allocation.
+  for (int t = 0; t < kTrials; ++t) {
+    EXPECT_LE(par_trial_allocs(run), 1) << "trial " << t;
+  }
+}
+
+TEST(AllocGate, ParBaMultiWorkerSteadyStateStabilizes) {
+  // With two workers the warm-up is schedule-dependent (a worker sizes its
+  // thread-local workspace the first time it executes a terminal), so warm
+  // until the runtime reports consecutive allocation-free calls, then hold
+  // it to zero.  A per-call regression fails every attempt; a late worker
+  // wake-up only restarts the stabilization loop.
+  runtime::WorkStealingPool pool(2);
+  TrialWorkspace<SyntheticProblem> ws;
+  const auto run = [&](runtime::ParStats* stats) {
+    auto part =
+        runtime::par_ba_partition(pool, ws, make_problem(7), kN, {}, stats);
+    ASSERT_EQ(part.pieces.size(), static_cast<std::size_t>(kN));
+    ws.recycle(std::move(part));
+  };
+  int consecutive_clean = 0;
+  int calls = 0;
+  while (consecutive_clean < kTrials && calls < 400) {
+    ++calls;
+    if (par_trial_allocs(run) == 0) {
+      ++consecutive_clean;
+    } else {
+      consecutive_clean = 0;
+    }
+  }
+  EXPECT_EQ(consecutive_clean, kTrials)
+      << "parallel path never reached an allocation-free steady state in "
+      << calls << " calls";
 }
 
 TEST(AllocGate, ArenaSteadyStateIsAllocationFree) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`.
+"""Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`
+or `lbb_bench par_speedup`.
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--band 0.15]
 
-Cells are matched by (experiment name, algo, log2_n).  For each matched cell
-the script compares:
+Cells are matched by (experiment name, algo, log2_n, threads).  For each
+matched cell the script compares:
 
   * wall_seconds / bisections_per_sec -- timing, judged against a relative
     noise band (default +/-15%): wall-clock numbers from a shared machine
@@ -14,6 +15,11 @@ the script compares:
     probe.  These are near-deterministic (workspace warm-up residue only),
     so ANY increase in alloc_count is flagged: the whole point of the
     zero-alloc hot path is that this number does not creep back up.
+  * speedup -- par_speedup cells marked is_max_threads carry the measured
+    work-stealing speedup at the largest thread count; a drop of more than
+    the band (default 15%) is a scaling regression.  Only judged when both
+    reports come from machines with the same hardware_concurrency --
+    speedups from different core counts are not comparable.
 
 Exit status: 0 if no regression, 1 if any cell regressed, 2 on usage or
 input errors.  Cells present in only one report are listed but do not fail
@@ -38,10 +44,11 @@ def load_cells(path):
     for exp in report.get("experiments", []):
         for cell in exp.get("cells", []):
             key = (exp.get("name", "?"), cell.get("algo", "?"),
-                   cell.get("log2_n", -1))
+                   cell.get("log2_n", -1), cell.get("threads", -1))
             cells[key] = cell
     meta = {k: report.get(k) for k in ("benchmark", "threads", "trials",
-                                       "alloc_probe")}
+                                       "alloc_probe",
+                                       "hardware_concurrency")}
     return cells, meta
 
 
@@ -77,12 +84,21 @@ def main(argv):
     if not cand_meta.get("alloc_probe", False):
         print("note: candidate was built WITHOUT the alloc probe; "
               "alloc columns are all zero and not comparable")
+    same_hw = (base_meta.get("hardware_concurrency")
+               == cand_meta.get("hardware_concurrency"))
+    if not same_hw:
+        print(f"note: hardware_concurrency differs "
+              f"({base_meta.get('hardware_concurrency')} vs "
+              f"{cand_meta.get('hardware_concurrency')}); "
+              f"measured speedups are not comparable and are skipped")
 
     regressions = []
     rows = []
     for key in sorted(base_cells.keys() | cand_cells.keys()):
-        exp, algo, log2_n = key
+        exp, algo, log2_n, threads = key
         label = f"{exp} {algo} n=2^{log2_n}"
+        if threads != -1:
+            label += f" T={threads}"
         if key not in base_cells:
             rows.append((label, "only in candidate", ""))
             continue
@@ -106,6 +122,13 @@ def main(argv):
         if (base_meta.get("alloc_probe") and cand_meta.get("alloc_probe")
                 and dcount > 0):
             verdicts.append(f"alloc_count +{dcount}")
+        # Scaling regression: measured speedup at the top thread count
+        # dropped by more than the band relative to the baseline.
+        if (same_hw and b.get("is_max_threads") and c.get("is_max_threads")
+                and b.get("speedup", 0) > 0):
+            dspeed = rel_change(b["speedup"], c.get("speedup", 0))
+            if dspeed < -args.band:
+                verdicts.append(f"speedup {fmt_pct(dspeed)} < band")
         status = "REGRESSED: " + "; ".join(verdicts) if verdicts else "ok"
         if verdicts:
             regressions.append(label)

@@ -2,7 +2,9 @@
 # Thread-count determinism gate for the parallel experiment engine.
 #
 # Runs `lbb_bench table1` on a small grid at --threads=1, 2 and 8 and
-# requires the CSVs to be byte-identical, then smoke-checks that
+# requires the CSVs to be byte-identical, runs `lbb_bench par_speedup
+# --verify` so the work-stealing partitioners are byte-compared against the
+# sequential kernels at several thread counts, then smoke-checks that
 # `lbb_bench perf_report` emits a well-formed BENCH_ratio_experiment.json.
 # Pure output comparison -- no wall-clock assertions, so it is safe on
 # loaded or single-core CI runners.
@@ -17,7 +19,9 @@
 #   cmake --preset ubsan && cmake --build --preset ubsan -j
 #   ctest --preset ubsan-sim
 #
-# (likewise asan / asan-sim and tsan / tsan-sim).  The fault-injection
+# (likewise asan / asan-sim and tsan / tsan-sim; the tsan-sim preset's
+# label filter also covers the `runtime` suites, so the work-stealing
+# deque/parking protocol runs under ThreadSanitizer).  The fault-injection
 # tests (sim_fault_model_test) assert the same thread-count determinism for
 # degraded simulations that this script asserts for the experiment engine.
 # The asan-core test preset (labels core|runtime|perf|property) puts the
@@ -47,6 +51,14 @@ for t in 2 8; do
   fi
   echo "ok: threads=$t CSV byte-identical to threads=1"
 done
+
+echo "== par:* byte-identity: lbb_bench par_speedup --verify =="
+# The work-stealing runtime must reproduce the sequential BA / BA' / BA-HF
+# partitions (pieces AND recorded tree) exactly, for every thread count and
+# steal schedule.  13 = 2^13 pieces keeps this quick under sanitizers.
+"$LBB" par_speedup --verify --logn=13 --threads=1,2,4,8 \
+    --algos=par:ba,par:ba_star,par:ba_hf
+echo "ok: par:* partitions byte-identical to sequential kernels"
 
 echo "== perf_report smoke =="
 REPORT="$TMPDIR_DET/BENCH_ratio_experiment.json"
