@@ -26,6 +26,7 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/workspace.hpp"
 
 namespace lbb::core {
@@ -37,9 +38,9 @@ namespace detail {
 /// as leaves even when they hold more than one processor (Algorithm BA').
 /// The stack buffer is ws.frames, cleared on entry.
 template <Bisectable P>
-void ba_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
-            std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
-            NodeId node0, double prune_below) {
+LBB_HOT void ba_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+                    std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
+                    NodeId node0, double prune_below) {
   auto& stack = ws.frames;
   stack.clear();
   stack.push_back(
@@ -80,15 +81,17 @@ void ba_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
 /// drawing scratch and output storage from `ws`.  BA needs no knowledge of
 /// alpha.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_partition(TrialWorkspace<P>& ws, P problem,
-                                        std::int32_t n,
-                                        const PartitionOptions& opt = {}) {
+LBB_HOT [[nodiscard]] Partition<P> ba_partition(
+    TrialWorkspace<P>& ws, P problem, std::int32_t n,
+    const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_partition: n must be >= 1");
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
   out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  // lbb-lint: allow(hot-alloc): BuildContext pre-sizing -- no-op on
+  // the alloc-gated hot path (record_tree is false there).
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   detail::ba_run(ctx, ws, std::move(problem), n, 0, 0, root,
@@ -109,9 +112,9 @@ template <Bisectable P>
 /// scratch and output storage from `ws`.  Unlike BA, BA' needs alpha in
 /// order to evaluate r_alpha.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_star_partition(TrialWorkspace<P>& ws, P problem,
-                                             std::int32_t n, double alpha,
-                                             const PartitionOptions& opt = {}) {
+LBB_HOT [[nodiscard]] Partition<P> ba_star_partition(
+    TrialWorkspace<P>& ws, P problem, std::int32_t n, double alpha,
+    const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_star_partition: n must be >= 1");
   require_valid_alpha(alpha);
   Partition<P> out;
@@ -119,6 +122,8 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  // lbb-lint: allow(hot-alloc): BuildContext pre-sizing -- no-op on
+  // the alloc-gated hot path (record_tree is false there).
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const double threshold = phf_phase1_threshold(alpha, out.total_weight, n);

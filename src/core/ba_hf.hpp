@@ -23,6 +23,7 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/split.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/workspace.hpp"
 
 namespace lbb::core {
@@ -39,9 +40,10 @@ namespace detail {
 /// field rides along as 0.0 -- BA-HF switches on processor count, not
 /// weight); HF leaves reuse ws's heap/slot scratch via hf_run.
 template <Bisectable P>
-void ba_hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
-               std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
-               NodeId node0, std::int32_t switch_threshold) {
+LBB_HOT void ba_hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+                       std::int32_t n, ProcessorId proc_lo,
+                       std::int32_t depth0, NodeId node0,
+                       std::int32_t switch_threshold) {
   auto& stack = ws.frames;
   stack.clear();
   stack.push_back(
@@ -77,10 +79,9 @@ void ba_hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
 /// Partitions `problem` into exactly `n` subproblems with Algorithm BA-HF,
 /// drawing scratch and output storage from `ws`.
 template <Bisectable P>
-[[nodiscard]] Partition<P> ba_hf_partition(TrialWorkspace<P>& ws, P problem,
-                                           std::int32_t n,
-                                           const BaHfParams& params,
-                                           const PartitionOptions& opt = {}) {
+LBB_HOT [[nodiscard]] Partition<P> ba_hf_partition(
+    TrialWorkspace<P>& ws, P problem, std::int32_t n,
+    const BaHfParams& params, const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("ba_hf_partition: n must be >= 1");
   require_valid_alpha(params.alpha);
   if (!(params.beta > 0.0)) {
@@ -91,6 +92,8 @@ template <Bisectable P>
   out.total_weight = problem.weight();
   out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  // lbb-lint: allow(hot-alloc): BuildContext pre-sizing -- no-op on
+  // the alloc-gated hot path (record_tree is false there).
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   const std::int32_t threshold =

@@ -10,6 +10,8 @@ NodeId BisectionTree::set_root(double weight) {
   if (!nodes_.empty()) {
     throw std::logic_error("BisectionTree: root already set");
   }
+  // lbb-lint: allow(hot-alloc): tree recording is off on the alloc-gated
+  // hot path (record_tree=false); recording runs pre-reserve the arena.
   nodes_.push_back(Node{weight, kNoNode, kNoNode, kNoNode, 0});
   return 0;
 }
@@ -26,7 +28,10 @@ std::pair<NodeId, NodeId> BisectionTree::add_bisection(NodeId parent,
   const std::int32_t depth = p.depth + 1;
   p.left = left;
   p.right = right;
+  // lbb-lint: allow(hot-alloc): tree recording is off on the alloc-gated
+  // hot path; recording runs pre-reserve 2n-1 nodes (BuildContext::reserve).
   nodes_.push_back(Node{left_weight, parent, kNoNode, kNoNode, depth});
+  // lbb-lint: allow(hot-alloc): same pre-reserved recording path as above.
   nodes_.push_back(Node{right_weight, parent, kNoNode, kNoNode, depth});
   return {left, right};
 }

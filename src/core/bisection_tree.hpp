@@ -41,6 +41,8 @@ class BisectionTree {
 
   /// Pre-allocates storage for `nodes` nodes (a partition into k pieces
   /// records 2k-1).
+  // lbb-lint: allow(hot-alloc): single up-front sizing of the recording
+  // arena; tree recording is off on the alloc-gated hot path.
   void reserve(std::size_t nodes) { nodes_.reserve(nodes); }
 
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }

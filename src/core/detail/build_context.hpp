@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/partition.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace lbb::core::detail {
 
@@ -24,6 +25,9 @@ class BuildContext {
   /// O(log n) reallocation-and-copy cascade on the bisection hot path.
   void reserve(std::int32_t pieces) {
     if (record_ && pieces > 0) {
+      // lbb-lint: allow(hot-alloc): single up-front arena sizing; tree
+      // recording is off on the alloc-gated hot path (workspace overloads
+      // run with record_tree=false).
       out_.tree.reserve(2 * static_cast<std::size_t>(pieces) - 1);
     }
   }
@@ -37,17 +41,20 @@ class BuildContext {
 
   /// Accounts one bisection; returns the children's node ids (or kNoNode
   /// pair when recording is off).
-  std::pair<NodeId, NodeId> bisected(NodeId parent, double left_weight,
-                                     double right_weight) {
+  LBB_HOT std::pair<NodeId, NodeId> bisected(NodeId parent,
+                                             double left_weight,
+                                             double right_weight) {
     ++out_.bisections;
     if (!record_ || parent == kNoNode) return {kNoNode, kNoNode};
     return out_.tree.add_bisection(parent, left_weight, right_weight);
   }
 
   /// Emits one final piece.
-  void piece(P problem, double weight, ProcessorId processor,
-             std::int32_t depth, NodeId node) {
+  LBB_HOT void piece(P problem, double weight, ProcessorId processor,
+                     std::int32_t depth, NodeId node) {
     out_.max_depth = std::max(out_.max_depth, depth);
+    // lbb-lint: allow(hot-alloc): within the capacity of the recycled
+    // pieces buffer (ws.take_pieces reserves n up front).
     out_.pieces.push_back(
         Piece<P>{std::move(problem), weight, processor, depth, node});
   }

@@ -12,6 +12,7 @@
 
 #include "core/bisection_tree.hpp"
 #include "core/problem.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace lbb::core {
 
@@ -33,6 +34,9 @@ struct HfHeapEntry {
 /// wins ties).  Flat storage; children of node i are 4i+1 .. 4i+4.
 class HfHeap {
  public:
+  // lbb-lint: allow(hot-alloc): entries_ is TrialWorkspace-owned scratch
+  // (ws.heap); capacity is retained across trials, so growth stops once
+  // the workspace is warm (asserted by the runtime alloc gate).
   void reserve(std::size_t n) { entries_.reserve(n); }
   void clear() noexcept { entries_.clear(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
@@ -41,8 +45,10 @@ class HfHeap {
     return entries_.front();
   }
 
-  void push(HfHeapEntry e) {
+  LBB_HOT void push(HfHeapEntry e) {
     std::size_t hole = entries_.size();
+    // lbb-lint: allow(hot-alloc): within the per-run reserve() capacity;
+    // the backing buffer is workspace-recycled (see reserve above).
     entries_.push_back(e);
     // Hole-sift up: move parents down until e's position is found.
     while (hole > 0) {
@@ -54,7 +60,7 @@ class HfHeap {
     entries_[hole] = e;
   }
 
-  HfHeapEntry pop() {
+  LBB_HOT HfHeapEntry pop() {
     const HfHeapEntry result = entries_.front();
     const HfHeapEntry last = entries_.back();
     entries_.pop_back();

@@ -35,6 +35,7 @@
 #include "core/detail/scratch.hpp"
 #include "core/partition.hpp"
 #include "core/problem.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/workspace.hpp"
 
 namespace lbb::core {
@@ -47,9 +48,9 @@ namespace detail {
 /// weights, heap) comes from `ws` and is cleared on entry, so one warm
 /// workspace serves any number of consecutive runs.
 template <Bisectable P>
-void hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
-            std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
-            NodeId node0) {
+LBB_HOT void hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
+                    std::int32_t n, ProcessorId proc_lo, std::int32_t depth0,
+                    NodeId node0) {
   const double w0 = problem.weight();
   if (n == 1) {
     ctx.piece(std::move(problem), w0, proc_lo, depth0, node0);
@@ -119,15 +120,17 @@ void hf_run(BuildContext<P>& ctx, P problem, std::int32_t n,
 /// drawing all scratch and output storage from `ws` (zero allocations once
 /// the workspace is warm).
 template <Bisectable P>
-[[nodiscard]] Partition<P> hf_partition(TrialWorkspace<P>& ws, P problem,
-                                        std::int32_t n,
-                                        const PartitionOptions& opt = {}) {
+LBB_HOT [[nodiscard]] Partition<P> hf_partition(
+    TrialWorkspace<P>& ws, P problem, std::int32_t n,
+    const PartitionOptions& opt = {}) {
   if (n < 1) throw std::invalid_argument("hf_partition: n must be >= 1");
   Partition<P> out;
   out.processors = n;
   out.total_weight = problem.weight();
   out.pieces = ws.take_pieces(static_cast<std::size_t>(n));
   detail::BuildContext<P> ctx(out, opt.record_tree);
+  // lbb-lint: allow(hot-alloc): BuildContext pre-sizing -- no-op on
+  // the alloc-gated hot path (record_tree is false there).
   ctx.reserve(n);
   const NodeId root = ctx.root(out.total_weight);
   detail::hf_run(ctx, ws, std::move(problem), n, /*proc_lo=*/0, /*depth0=*/0,

@@ -120,6 +120,7 @@ PartitionerRegistry::PartitionerRegistry() {
 }
 
 void PartitionerRegistry::add(PartitionerInfo info, Factory factory) {
+  MutexLock lock(mu_);
   for (Entry& entry : entries_) {
     if (entry.info.name == info.name) {
       entry = Entry{std::move(info), std::move(factory)};
@@ -130,6 +131,7 @@ void PartitionerRegistry::add(PartitionerInfo info, Factory factory) {
 }
 
 bool PartitionerRegistry::contains(std::string_view name) const {
+  MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (entry.info.name == name) return true;
   }
@@ -138,16 +140,29 @@ bool PartitionerRegistry::contains(std::string_view name) const {
 
 std::unique_ptr<Partitioner> PartitionerRegistry::create(
     std::string_view name, const PartitionerConfig& config) const {
-  for (const Entry& entry : entries_) {
-    if (entry.info.name == name) return entry.factory(config);
+  // Copy the factory out of the lock before invoking it: a factory is user
+  // code and may itself consult the registry (non-recursive mutex).
+  Factory factory;
+  {
+    MutexLock lock(mu_);
+    for (const Entry& entry : entries_) {
+      if (entry.info.name == name) {
+        factory = entry.factory;
+        break;
+      }
+    }
+    if (!factory) throw UnknownPartitionerError(name, names_locked());
   }
-  throw UnknownPartitionerError(name, names());
+  return factory(config);
 }
 
 std::vector<PartitionerInfo> PartitionerRegistry::list() const {
   std::vector<PartitionerInfo> out;
-  out.reserve(entries_.size());
-  for (const Entry& entry : entries_) out.push_back(entry.info);
+  {
+    MutexLock lock(mu_);
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) out.push_back(entry.info);
+  }
   std::sort(out.begin(), out.end(),
             [](const PartitionerInfo& a, const PartitionerInfo& b) {
               return a.name < b.name;
@@ -155,12 +170,17 @@ std::vector<PartitionerInfo> PartitionerRegistry::list() const {
   return out;
 }
 
-std::vector<std::string> PartitionerRegistry::names() const {
+std::vector<std::string> PartitionerRegistry::names_locked() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const Entry& entry : entries_) out.push_back(entry.info.name);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::string> PartitionerRegistry::names() const {
+  MutexLock lock(mu_);
+  return names_locked();
 }
 
 }  // namespace lbb::core

@@ -45,6 +45,7 @@
 #include "core/partition.hpp"
 #include "core/problem.hpp"
 #include "core/run_context.hpp"
+#include "core/sync.hpp"
 #include "core/workspace.hpp"
 
 namespace lbb::core {
@@ -135,6 +136,11 @@ class UnknownPartitionerError : public std::invalid_argument {
 /// String-keyed partitioner registry (process-wide singleton).  The core
 /// families self-register; other layers add theirs through an idempotent
 /// registration hook (sim::register_sim_partitioners()).
+///
+/// Thread-safe: registration hooks run from whichever thread first touches
+/// a layer (including pool workers resolving algorithms mid-experiment),
+/// so the entry table is guarded by a mutex.  Factories are invoked
+/// OUTSIDE the lock -- a factory may itself consult the registry.
 class PartitionerRegistry {
  public:
   using Factory =
@@ -144,20 +150,21 @@ class PartitionerRegistry {
 
   /// Registers `factory` under `info.name`.  Re-registering an existing
   /// name replaces the entry (last registration wins), so tests can stub.
-  void add(PartitionerInfo info, Factory factory);
+  void add(PartitionerInfo info, Factory factory) LBB_EXCLUDES(mu_);
 
-  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const LBB_EXCLUDES(mu_);
 
   /// Instantiates the named partitioner; throws UnknownPartitionerError
   /// (listing the registered names) for unknown keys.
   [[nodiscard]] std::unique_ptr<Partitioner> create(
-      std::string_view name, const PartitionerConfig& config = {}) const;
+      std::string_view name, const PartitionerConfig& config = {}) const
+      LBB_EXCLUDES(mu_);
 
   /// Registered identities, sorted by name.
-  [[nodiscard]] std::vector<PartitionerInfo> list() const;
+  [[nodiscard]] std::vector<PartitionerInfo> list() const LBB_EXCLUDES(mu_);
 
   /// Sorted registered names (for error messages / --help).
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const LBB_EXCLUDES(mu_);
 
  private:
   PartitionerRegistry();
@@ -166,7 +173,12 @@ class PartitionerRegistry {
     PartitionerInfo info;
     Factory factory;
   };
-  std::vector<Entry> entries_;
+
+  [[nodiscard]] std::vector<std::string> names_locked() const
+      LBB_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ LBB_GUARDED_BY(mu_);
 };
 
 /// Typed escape hatch: runs `part` on a concrete problem type without type

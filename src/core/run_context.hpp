@@ -28,6 +28,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "core/sync.hpp"
 #include "stats/rng.hpp"
 
 namespace lbb::core {
@@ -36,10 +37,11 @@ namespace lbb::core {
 /// the duration of every run that references it.
 class CancelToken {
  public:
-  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
-  [[nodiscard]] bool cancelled() const noexcept {
-    return flag_.load(std::memory_order_relaxed);
-  }
+  // seq_cst accesses (cancellation is checked at run granularity, never in
+  // a per-bisection loop): non-seq_cst orders are confined to
+  // runtime/work_stealing.cpp by the lbb-lint memory-order rule.
+  void cancel() noexcept { flag_.store(true); }
+  [[nodiscard]] bool cancelled() const noexcept { return flag_.load(); }
 
  private:
   std::atomic<bool> flag_{false};
@@ -77,11 +79,31 @@ struct RunMetrics {
 /// Receiver for named counters from layers above core (sim reports
 /// "sim.makespan", "sim.messages", ... through this).  Implementations are
 /// used from one thread at a time per RunContext; a sink shared between
-/// forked contexts must synchronize itself.
+/// forked contexts must synchronize itself (see LockedMetricsSink).
 class MetricsSink {
  public:
   virtual ~MetricsSink() = default;
   virtual void on_counter(std::string_view key, double value) = 0;
+};
+
+/// MetricsSink decorator that serializes on_counter calls, making any
+/// underlying sink safe to share between contexts forked onto worker
+/// threads.  The lock discipline is annotated so clang's thread-safety
+/// analysis verifies the inner sink is never reached without the mutex.
+class LockedMetricsSink final : public MetricsSink {
+ public:
+  /// Wraps `inner` (not owned; must outlive this decorator).
+  explicit LockedMetricsSink(MetricsSink& inner) : inner_(&inner) {}
+
+  void on_counter(std::string_view key, double value) override
+      LBB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    inner_->on_counter(key, value);
+  }
+
+ private:
+  Mutex mu_;
+  MetricsSink* inner_ LBB_PT_GUARDED_BY(mu_);
 };
 
 /// The run spine.  Cheap to construct and to fork; movable.

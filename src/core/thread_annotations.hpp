@@ -1,0 +1,79 @@
+// Clang thread-safety analysis macros plus the LBB_HOT hot-path marker.
+//
+// The repo's concurrency invariants (which mutex guards which state) are
+// written down as attributes so `clang -Werror=thread-safety` can reject a
+// lock-discipline violation at compile time instead of hoping a tsan run
+// happens to execute it.  Under GCC (or any non-clang compiler) every macro
+// expands to nothing, so the annotated code builds identically everywhere;
+// the `tidy` CMake preset turns the analysis on (see tools/lint/README.md).
+//
+// The macro set follows the de-facto standard names (abseil
+// base/thread_annotations.h; LLVM's own Threading annotations) with an
+// LBB_ prefix so nothing collides when this library is embedded.
+//
+// std::mutex on libstdc++ carries none of these attributes, so annotating
+// members with LBB_GUARDED_BY(std::mutex) would drown the analysis in
+// false positives.  core/sync.hpp provides the thin annotated wrappers
+// (lbb::core::Mutex and its RAII locks) the annotated classes use instead.
+//
+// LBB_HOT is different in kind: it is not a clang attribute but a marker
+// consumed by the project linter (tools/lint/lbb_lint.py).  Functions
+// marked LBB_HOT are on the steady-state partitioning hot path and must
+// not allocate except through TrialWorkspace-recycled storage -- the
+// static companion of the runtime zero-allocation gate
+// (tests/perf/alloc_gate_test.cpp).  It expands to nothing for every
+// compiler; the linter matches the token textually.
+#pragma once
+
+#if defined(__clang__)
+#define LBB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define LBB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (lockable). `x` names it in
+/// diagnostics, e.g. LBB_CAPABILITY("mutex").
+#define LBB_CAPABILITY(x) LBB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define LBB_SCOPED_CAPABILITY LBB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member may only be accessed while holding capability `x`.
+#define LBB_GUARDED_BY(x) LBB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding capability `x`.
+#define LBB_PT_GUARDED_BY(x) LBB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define LBB_ACQUIRE(...) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define LBB_RELEASE(...) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first arg is the success return value.
+#define LBB_TRY_ACQUIRE(...) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) to call this function.
+#define LBB_REQUIRES(...) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// catches self-deadlock on non-recursive mutexes).
+#define LBB_EXCLUDES(...) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding it.
+#define LBB_RETURN_CAPABILITY(x) \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis (use sparingly, with a comment --
+/// e.g. condition-variable waits that release and reacquire internally).
+#define LBB_NO_THREAD_SAFETY_ANALYSIS \
+  LBB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Hot-path marker for tools/lint/lbb_lint.py (see header comment).  Not a
+/// compiler attribute; expands to nothing everywhere.
+#define LBB_HOT

@@ -29,6 +29,7 @@
 #include "core/detail/scratch.hpp"
 #include "core/partition.hpp"
 #include "core/problem.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/arena.hpp"
 
 namespace lbb::core {
@@ -52,17 +53,20 @@ class TrialWorkspace {
   /// Takes a pieces vector for a new Partition: the recycled buffer of a
   /// previous trial when one is pooled (capacity retained -- no
   /// allocation), otherwise a fresh vector.  Always reserved to `n`.
-  [[nodiscard]] std::vector<Piece<P>> take_pieces(std::size_t n) {
+  LBB_HOT [[nodiscard]] std::vector<Piece<P>> take_pieces(std::size_t n) {
     std::vector<Piece<P>> pieces = std::move(piece_pool_);
     piece_pool_ = std::vector<Piece<P>>();
     pieces.clear();
+    // lbb-lint: allow(hot-alloc): recycled buffer -- capacity is retained
+    // across trials, so this reserve only allocates until the pool is warm
+    // (the runtime alloc gate asserts zero from then on).
     pieces.reserve(n);
     return pieces;
   }
 
   /// Returns a finished trial's Partition storage to the pool.  Call after
   /// the trial's statistics have been extracted; the partition is consumed.
-  void recycle(Partition<P>&& used) {
+  LBB_HOT void recycle(Partition<P>&& used) {
     if (used.pieces.capacity() > piece_pool_.capacity()) {
       piece_pool_ = std::move(used.pieces);
     }

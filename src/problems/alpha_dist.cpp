@@ -2,25 +2,41 @@
 
 #include <iomanip>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "core/sync.hpp"
+
 namespace lbb::problems {
 
+namespace {
+
+/// Process-wide interning table.  Append-only: distinct distributions per
+/// process are few (one per configured experiment), so a linear scan under
+/// a mutex is cheaper than a hash map and keeps every returned pointer
+/// stable forever.
+struct InternPool {
+  lbb::core::Mutex mu;
+  std::vector<std::unique_ptr<const AlphaDistribution>> entries
+      LBB_GUARDED_BY(mu);
+};
+
+InternPool& intern_pool() {
+  static InternPool pool;
+  return pool;
+}
+
+}  // namespace
+
 const AlphaDistribution* AlphaDistribution::interned() const {
-  // Append-only pool: distinct distributions per process are few (one per
-  // configured experiment), so a linear scan under a mutex is cheaper than
-  // a hash map and keeps every returned pointer stable forever.
-  static std::mutex mutex;
-  static std::vector<std::unique_ptr<const AlphaDistribution>> pool;
-  std::scoped_lock lock(mutex);
-  for (const auto& d : pool) {
+  InternPool& pool = intern_pool();
+  lbb::core::MutexLock lock(pool.mu);
+  for (const auto& d : pool.entries) {
     if (*d == *this) return d.get();
   }
-  pool.push_back(
+  pool.entries.push_back(
       std::unique_ptr<const AlphaDistribution>(new AlphaDistribution(*this)));
-  return pool.back().get();
+  return pool.entries.back().get();
 }
 
 std::string AlphaDistribution::describe() const {

@@ -50,7 +50,7 @@ ExecutionReport execute_partition(const lbb::core::Partition<P>& partition,
       static_cast<std::size_t>(partition.processors), 0.0);
   std::vector<std::atomic<double>> busy(
       static_cast<std::size_t>(partition.processors));
-  for (auto& b : busy) b.store(0.0, std::memory_order_relaxed);
+  for (auto& b : busy) b.store(0.0);
 
   const auto wall_start = std::chrono::steady_clock::now();
   for (const auto& piece : partition.pieces) {
@@ -63,9 +63,11 @@ ExecutionReport execute_partition(const lbb::core::Partition<P>& partition,
           std::chrono::steady_clock::now() - start;
       // One piece per processor id: a plain store would do, but keep the
       // accumulation robust to future multi-piece assignments.
-      double expected = busy[proc].load(std::memory_order_relaxed);
+      // seq_cst (free for RMW on x86): non-seq_cst orders are confined
+      // to runtime/work_stealing.cpp by the lbb-lint memory-order rule.
+      double expected = busy[proc].load();
       while (!busy[proc].compare_exchange_weak(
-          expected, expected + elapsed.count(), std::memory_order_relaxed)) {
+          expected, expected + elapsed.count())) {
       }
     });
   }
@@ -74,7 +76,7 @@ ExecutionReport execute_partition(const lbb::core::Partition<P>& partition,
       std::chrono::steady_clock::now() - wall_start;
   report.wall_seconds = wall.count();
   for (std::size_t i = 0; i < busy.size(); ++i) {
-    report.processor_busy[i] = busy[i].load(std::memory_order_relaxed);
+    report.processor_busy[i] = busy[i].load();
   }
   return report;
 }

@@ -183,7 +183,7 @@ void run_terminal(ParJob<P>& job, ParFrame<P> f) {
                               f.depth, node0, job.switch_threshold);
       break;
   }
-  job.bisections.fetch_add(tmp.bisections, std::memory_order_relaxed);
+  job.bisections.fetch_add(tmp.bisections);
   for (auto& piece : tmp.pieces) {
     job.staging[piece.processor].emplace(std::move(piece));
   }
@@ -227,13 +227,13 @@ void spawn_light(ParJob<P>& job, ParFrame<P>&& frame) {
   slot->job = &job;
   // Count the task before publishing it; the executing worker's
   // complete_one() balances this increment.
-  job.pending.fetch_add(1, std::memory_order_relaxed);
-  job.spawns.fetch_add(1, std::memory_order_relaxed);
+  job.pending.fetch_add(1);
+  job.spawns.fetch_add(1);
   if (!job.ws_pool->push_local(*worker, slot)) {
     // Deque full (cannot happen while deque capacity == slab size, but
     // handled for robustness): revert and execute inline.
-    job.pending.fetch_sub(1, std::memory_order_relaxed);
-    job.spawns.fetch_sub(1, std::memory_order_relaxed);
+    job.pending.fetch_sub(1);
+    job.spawns.fetch_sub(1);
     auto* payload = reinterpret_cast<ParFrame<P>*>(slot->payload);
     ParFrame<P> reclaimed = std::move(*payload);
     payload->~ParFrame<P>();
@@ -247,7 +247,7 @@ void spawn_light(ParJob<P>& job, ParFrame<P>&& frame) {
 /// Mirrors detail::ba_run / ba_hf_run's split decisions exactly.
 template <core::Bisectable P>
 void run_chain(ParJob<P>& job, ParFrame<P> f) {
-  if (job.failed.load(std::memory_order_relaxed)) return;  // bail early
+  if (job.failed.load()) return;  // bail early
   std::int64_t chain_bisections = 0;
   for (;;) {
     if (chain_terminal(job, f)) {
@@ -285,12 +285,12 @@ void run_chain(ParJob<P>& job, ParFrame<P> f) {
     f.weight = wl;
     f.n = n1;
     f.depth = depth;
-    if (job.failed.load(std::memory_order_relaxed)) {
-      job.bisections.fetch_add(chain_bisections, std::memory_order_relaxed);
+    if (job.failed.load()) {
+      job.bisections.fetch_add(chain_bisections);
       return;
     }
   }
-  job.bisections.fetch_add(chain_bisections, std::memory_order_relaxed);
+  job.bisections.fetch_add(chain_bisections);
 }
 
 /// Rebuilds the global BisectionTree in sequential DFS order from the
@@ -414,7 +414,7 @@ template <core::Bisectable P>
       record ? &job.root_frag : nullptr};
   root.run = &chain_trampoline<P>;
   root.job = &job;
-  job.pending.store(1, std::memory_order_relaxed);
+  job.pending.store(1);
   pool.inject(&root, &job);
   job.wait();
 
@@ -423,7 +423,7 @@ template <core::Bisectable P>
     std::rethrow_exception(err);
   }
 
-  out.bisections = job.bisections.load(std::memory_order_relaxed);
+  out.bisections = job.bisections.load();
   if (record) {
     core::detail::BuildContext<P> tctx(out, /*record_tree=*/true);
     tctx.reserve(n);
@@ -438,11 +438,11 @@ template <core::Bisectable P>
   }
 
   if (stats != nullptr) {
-    stats->spawns = job.spawns.load(std::memory_order_relaxed);
-    stats->steals = job.steals.load(std::memory_order_relaxed);
+    stats->spawns = job.spawns.load();
+    stats->steals = job.steals.load();
     stats->idle_ns = pool.idle_ns_total() - idle_before;
-    stats->alloc_count = job.alloc_count.load(std::memory_order_relaxed);
-    stats->alloc_bytes = job.alloc_bytes.load(std::memory_order_relaxed);
+    stats->alloc_count = job.alloc_count.load();
+    stats->alloc_bytes = job.alloc_bytes.load();
     stats->grain = grain;
   }
   return out;

@@ -2,7 +2,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -10,6 +9,7 @@
 
 #include "core/bounds.hpp"
 #include "core/partitioner.hpp"
+#include "core/sync.hpp"
 #include "runtime/par_partition.hpp"
 #include "stats/alloc_stats.hpp"
 
@@ -113,15 +113,31 @@ const ParEntry kParEntries[] = {
 
 }  // namespace
 
+namespace {
+
+/// Process-wide cache of one WorkStealingPool per thread count.  Pools are
+/// never destroyed before process exit, so returned references stay valid.
+struct PoolCache {
+  lbb::core::Mutex mu;
+  std::map<std::int32_t, std::unique_ptr<WorkStealingPool>> pools
+      LBB_GUARDED_BY(mu);
+};
+
+PoolCache& pool_cache() {
+  static PoolCache cache;
+  return cache;
+}
+
+}  // namespace
+
 WorkStealingPool& shared_pool(std::int32_t threads) {
-  static std::mutex mu;
-  static std::map<std::int32_t, std::unique_ptr<WorkStealingPool>> pools;
   if (threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw != 0 ? static_cast<std::int32_t>(hw) : 1;
   }
-  std::scoped_lock lock(mu);
-  auto& slot = pools[threads];
+  PoolCache& cache = pool_cache();
+  lbb::core::MutexLock lock(cache.mu);
+  auto& slot = cache.pools[threads];
   if (slot == nullptr) {
     slot = std::make_unique<WorkStealingPool>(
         static_cast<unsigned>(threads));

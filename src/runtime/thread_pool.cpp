@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(UniqueFunction task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
   {
-    std::scoped_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_) {
       throw std::logic_error("ThreadPool::submit: pool is shutting down");
     }
@@ -39,8 +39,10 @@ void ThreadPool::submit(UniqueFunction task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  core::CvLock lock(mutex_);
+  lock.wait(idle_, [this]() LBB_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -49,7 +51,7 @@ void ThreadPool::wait_idle() {
 }
 
 std::size_t ThreadPool::suppressed_exception_count() const {
-  std::scoped_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   return suppressed_errors_;
 }
 
@@ -57,9 +59,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     UniqueFunction task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return stopping_ || !queue_.empty(); });
+      core::CvLock lock(mutex_);
+      lock.wait(work_available_, [this]() LBB_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }
@@ -70,7 +73,7 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::scoped_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (!first_error_) {
         first_error_ = std::current_exception();
       } else {
@@ -78,7 +81,7 @@ void ThreadPool::worker_loop() {
       }
     }
     {
-      std::scoped_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) {
         idle_.notify_all();

@@ -11,6 +11,12 @@
 //   * submit_task(fn)  -- returns a std::future<R>; the result (or the
 //                         exception) travels through the future and never
 //                         touches the pool's error state.
+//
+// Lock discipline (enforced by clang -Wthread-safety via the annotations;
+// see core/thread_annotations.hpp): every piece of mutable pool state is
+// guarded by `mutex_`; the condition variables pair with it.  Workers hold
+// the lock only around queue/bookkeeping transitions, never while a task
+// runs.
 #pragma once
 
 #include <condition_variable>
@@ -18,12 +24,12 @@
 #include <deque>
 #include <exception>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "runtime/unique_function.hpp"
 
 namespace lbb::runtime {
@@ -42,7 +48,7 @@ class ThreadPool {
 
   /// Enqueues a task (any void() callable, move-only included).
   /// Thread-safe.
-  void submit(UniqueFunction task);
+  void submit(UniqueFunction task) LBB_EXCLUDES(mutex_);
 
   /// Enqueues a callable and returns a future for its result.  Exceptions
   /// thrown by `fn` are delivered through the future (std::future::get
@@ -78,28 +84,29 @@ class ThreadPool {
   /// still complete) and only counted -- see suppressed_exception_count().
   /// Tasks submitted via submit_task() report through their future instead
   /// and never appear here.
-  void wait_idle();
+  void wait_idle() LBB_EXCLUDES(mutex_);
 
   /// Total number of fire-and-forget task exceptions that were swallowed
   /// because another exception was already pending (cumulative over the
   /// pool's lifetime; never reset).  Thread-safe.
-  [[nodiscard]] std::size_t suppressed_exception_count() const;
+  [[nodiscard]] std::size_t suppressed_exception_count() const
+      LBB_EXCLUDES(mutex_);
 
   [[nodiscard]] unsigned size() const noexcept { return threads_; }
 
  private:
-  void worker_loop();
+  void worker_loop() LBB_EXCLUDES(mutex_);
 
   unsigned threads_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<UniqueFunction> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
-  std::size_t suppressed_errors_ = 0;
-  std::vector<std::thread> workers_;
+  mutable core::Mutex mutex_;
+  std::condition_variable work_available_;  ///< paired with mutex_
+  std::condition_variable idle_;            ///< paired with mutex_
+  std::deque<UniqueFunction> queue_ LBB_GUARDED_BY(mutex_);
+  std::size_t active_ LBB_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LBB_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ LBB_GUARDED_BY(mutex_);
+  std::size_t suppressed_errors_ LBB_GUARDED_BY(mutex_) = 0;
+  std::vector<std::thread> workers_;  ///< written in ctor, joined in dtor
 };
 
 }  // namespace lbb::runtime

@@ -85,7 +85,7 @@ TaskSlot* WsDeque::steal() noexcept {
 
 void ParJobBase::record_error(std::exception_ptr err) noexcept {
   {
-    std::scoped_lock lock(mu_);
+    core::MutexLock lock(mu_);
     if (!error_) error_ = std::move(err);
   }
   failed.store(true, std::memory_order_release);
@@ -99,19 +99,19 @@ void ParJobBase::complete_one() noexcept {
     // Notify under the mutex: the waiting caller owns this block and may
     // destroy it the moment wait() returns, which cannot happen before we
     // release mu_.
-    std::scoped_lock lock(mu_);
+    core::MutexLock lock(mu_);
     done_ = true;
     cv_.notify_all();
   }
 }
 
 void ParJobBase::wait() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  core::CvLock lock(mu_);
+  lock.wait(cv_, [this]() LBB_REQUIRES(mu_) { return done_; });
 }
 
 std::exception_ptr ParJobBase::take_error() noexcept {
-  std::scoped_lock lock(mu_);
+  core::MutexLock lock(mu_);
   return std::exchange(error_, nullptr);
 }
 
@@ -151,7 +151,7 @@ WorkStealingPool::~WorkStealingPool() {
   stop_.store(true);
   epoch_.fetch_add(1);
   {
-    std::scoped_lock lock(park_mu_);
+    core::MutexLock lock(park_mu_);
   }
   park_cv_.notify_all();
   for (auto& w : workers_) w->thread.join();
@@ -161,7 +161,7 @@ void WorkStealingPool::inject(TaskSlot* root, ParJobBase* job) {
   job->pool = this;
   live_jobs_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::scoped_lock lock(inject_mu_);
+    core::MutexLock lock(inject_mu_);
     inject_q_.push_back(root);
     inject_count_.fetch_add(1);
   }
@@ -210,7 +210,7 @@ void WorkStealingPool::notify_work() noexcept {
   epoch_.fetch_add(1);  // seq_cst: pairs with the parked registration
   if (parked_.load() > 0) {
     {
-      std::scoped_lock lock(park_mu_);
+      core::MutexLock lock(park_mu_);
     }
     park_cv_.notify_all();
   }
@@ -218,7 +218,7 @@ void WorkStealingPool::notify_work() noexcept {
 
 TaskSlot* WorkStealingPool::try_inject() noexcept {
   if (inject_count_.load(std::memory_order_acquire) == 0) return nullptr;
-  std::scoped_lock lock(inject_mu_);
+  core::MutexLock lock(inject_mu_);
   if (inject_head_ == inject_q_.size()) return nullptr;
   TaskSlot* slot = inject_q_[inject_head_++];
   inject_count_.fetch_sub(1);
@@ -292,12 +292,12 @@ void WorkStealingPool::worker_loop(Worker& self) {
     const bool count_idle = live_jobs_.load(std::memory_order_relaxed) > 0;
     const auto idle_start = std::chrono::steady_clock::now();
     {
-      std::unique_lock lock(park_mu_);
+      core::CvLock lock(park_mu_);
       parked_.fetch_add(1);
       // Registered as parked BEFORE re-checking the epoch: a producer that
       // bumps the epoch after our check must then observe parked_ > 0 and
       // take the mutex to notify (Dekker-style; both orders are seq_cst).
-      park_cv_.wait(lock, [&] {
+      lock.wait(park_cv_, [&] {
         return stop_.load() || epoch_.load() != epoch;
       });
       parked_.fetch_sub(1);

@@ -58,9 +58,10 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace lbb::runtime {
 
@@ -133,20 +134,20 @@ class ParJobBase {
 
   /// Records the first task exception (later ones are dropped) and flips
   /// `failed` so in-flight tasks bail out early.
-  void record_error(std::exception_ptr err) noexcept;
+  void record_error(std::exception_ptr err) noexcept LBB_EXCLUDES(mu_);
 
   /// Marks one task complete; the last completion wakes the caller.
   /// The notification happens under the join mutex so the caller cannot
   /// destroy this block between the flag flip and the notify.
-  void complete_one() noexcept;
+  void complete_one() noexcept LBB_EXCLUDES(mu_);
 
   // -- caller-side --
 
   /// Blocks until every task of the job has completed.
-  void wait();
+  void wait() LBB_EXCLUDES(mu_);
 
   /// The captured exception, if any (call after wait()).
-  [[nodiscard]] std::exception_ptr take_error() noexcept;
+  [[nodiscard]] std::exception_ptr take_error() noexcept LBB_EXCLUDES(mu_);
 
   std::atomic<std::int64_t> pending{0};      ///< outstanding tasks
   std::atomic<std::int64_t> spawns{0};       ///< deque pushes (not inlines)
@@ -158,10 +159,10 @@ class ParJobBase {
   WorkStealingPool* pool = nullptr;          ///< set by inject()
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  std::exception_ptr error_;
+  core::Mutex mu_;
+  std::condition_variable cv_;  ///< paired with mu_
+  bool done_ LBB_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ LBB_GUARDED_BY(mu_);
 };
 
 /// Fixed set of worker threads running work-stealing partition jobs.
@@ -189,7 +190,7 @@ class WorkStealingPool {
   /// Submits the root task of a job.  `job->pending` must already count it
   /// (callers set pending = 1 before injecting).  The caller joins with
   /// job->wait(), NOT with any pool-wide idle state.
-  void inject(TaskSlot* root, ParJobBase* job);
+  void inject(TaskSlot* root, ParJobBase* job) LBB_EXCLUDES(inject_mu_);
 
   // -- worker-side API, used by the typed layer (par_partition.hpp) --
 
@@ -215,7 +216,9 @@ class WorkStealingPool {
   /// was live.  Pool-wide and approximate (parking latency only, not spin
   /// gaps); callers report the delta across their own job as "par.idle_ns".
   [[nodiscard]] std::int64_t idle_ns_total() const noexcept {
-    return idle_ns_.load(std::memory_order_relaxed);
+    // seq_cst load (free on x86): non-seq_cst orders are confined to
+    // work_stealing.cpp by the lbb-lint memory-order rule.
+    return idle_ns_.load();
   }
 
   struct Worker {
@@ -232,10 +235,10 @@ class WorkStealingPool {
  private:
   void worker_loop(Worker& self);
   void execute(TaskSlot* slot, bool stolen) noexcept;
-  [[nodiscard]] TaskSlot* try_inject() noexcept;
+  [[nodiscard]] TaskSlot* try_inject() noexcept LBB_EXCLUDES(inject_mu_);
   [[nodiscard]] TaskSlot* try_steal(Worker& self, bool& stolen) noexcept;
   [[nodiscard]] TaskSlot* find_task(Worker& self, bool& stolen) noexcept;
-  void notify_work() noexcept;
+  void notify_work() noexcept LBB_EXCLUDES(park_mu_);
 
   friend class ParJobBase;  // live-job accounting from complete_one()
 
@@ -244,14 +247,14 @@ class WorkStealingPool {
 
   // Injection queue (root tasks from caller threads).  The atomic count
   // lets the worker fast path skip the mutex when the queue is empty.
-  std::mutex inject_mu_;
-  std::vector<TaskSlot*> inject_q_;
-  std::size_t inject_head_ = 0;
+  core::Mutex inject_mu_;
+  std::vector<TaskSlot*> inject_q_ LBB_GUARDED_BY(inject_mu_);
+  std::size_t inject_head_ LBB_GUARDED_BY(inject_mu_) = 0;
   std::atomic<std::int64_t> inject_count_{0};
 
   // Parking protocol (see the header comment).
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  core::Mutex park_mu_;
+  std::condition_variable park_cv_;  ///< paired with park_mu_
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::int32_t> parked_{0};  ///< modified under park_mu_
   std::atomic<bool> stop_{false};

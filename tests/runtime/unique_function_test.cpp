@@ -1,0 +1,250 @@
+// Edge-case tests for runtime::UniqueFunction's small-buffer contract.
+//
+// The SBO boundary (kInlineSize = 48, max_align_t alignment, nothrow-move)
+// decides whether a submitted task allocates: ThreadPool's zero-alloc
+// submit path depends on the common promise-capturing lambda staying
+// inline.  These tests pin the boundary from both sides with callables of
+// exact sizes, detect heap placement via class-specific operator new (no
+// global interposer needed), and nail the moved-from / ownership-transfer
+// semantics the pool's queue relies on.
+#include "runtime/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace lbb::runtime {
+namespace {
+
+constexpr std::size_t kInlineSize = 48;  // mirrors UniqueFunction's buffer
+
+// Counts class-specific operator new/delete calls for the wrapped
+// callable.  UniqueFunction's heap path spells `new D(...)` / `delete`,
+// which resolves to these overloads -- so the counters observe exactly
+// whether the erased target went inline or to the heap.
+struct AllocCounters {
+  int news = 0;
+  int deletes = 0;
+  int aligned_news = 0;
+};
+AllocCounters g_counters;
+
+// Byte-exact callable: the out-pointer lives in an unaligned byte array
+// (memcpy'd in and out), so alignof == 1 and sizeof == Bytes exactly --
+// no padding blurs the boundary under test.
+template <std::size_t Bytes>
+struct SizedCallable {
+  explicit SizedCallable(int* out) {
+    std::memcpy(storage, &out, sizeof(out));
+  }
+  SizedCallable(SizedCallable&&) noexcept = default;
+  SizedCallable(const SizedCallable&) = default;
+  void operator()() {
+    int* out = nullptr;
+    std::memcpy(&out, storage, sizeof(out));
+    ++*out;
+  }
+
+  static void* operator new(std::size_t n) {
+    ++g_counters.news;
+    return ::operator new(n);
+  }
+  static void operator delete(void* p) noexcept {
+    ++g_counters.deletes;
+    ::operator delete(p);
+  }
+
+  unsigned char storage[Bytes];
+};
+
+using AtBoundary = SizedCallable<kInlineSize>;        // sizeof == 48
+using OverBoundary = SizedCallable<kInlineSize + 1>;  // sizeof == 49
+
+static_assert(sizeof(AtBoundary) == kInlineSize);
+static_assert(sizeof(OverBoundary) == kInlineSize + 1);
+static_assert(std::is_nothrow_move_constructible_v<AtBoundary>);
+
+// Alignment above max_align_t must reject SBO even though it fits by size
+// (alignas(32) keeps sizeof at 32 <= 48); the heap path must then use the
+// align_val_t operator new.
+struct alignas(32) OverAligned {
+  explicit OverAligned(int* target) : out(target) {}
+  OverAligned(OverAligned&&) noexcept = default;
+  void operator()() { ++*out; }
+
+  static void* operator new(std::size_t n, std::align_val_t al) {
+    ++g_counters.aligned_news;
+    return ::operator new(n, al);
+  }
+  static void operator delete(void* p, std::align_val_t al) noexcept {
+    ++g_counters.deletes;
+    ::operator delete(p, al);
+  }
+
+  int* out;
+};
+static_assert(sizeof(OverAligned) <= kInlineSize);
+static_assert(alignof(OverAligned) > alignof(std::max_align_t));
+
+// A throwing-move callable must take the heap path regardless of size:
+// UniqueFunction's own move is noexcept, which is only implementable when
+// potentially-throwing targets are behind a pointer.
+struct ThrowingMove {
+  explicit ThrowingMove(int* target) : out(target) {}
+  ThrowingMove(ThrowingMove&& other) : out(other.out) {}  // not noexcept
+  void operator()() { ++*out; }
+
+  static void* operator new(std::size_t n) {
+    ++g_counters.news;
+    return ::operator new(n);
+  }
+  static void operator delete(void* p) noexcept {
+    ++g_counters.deletes;
+    ::operator delete(p);
+  }
+
+  int* out;
+};
+static_assert(sizeof(ThrowingMove) <= kInlineSize);
+static_assert(!std::is_nothrow_move_constructible_v<ThrowingMove>);
+
+class UniqueFunctionSbo : public ::testing::Test {
+ protected:
+  void SetUp() override { g_counters = AllocCounters{}; }
+};
+
+TEST_F(UniqueFunctionSbo, ExactBoundarySizeStaysInline) {
+  int calls = 0;
+  {
+    UniqueFunction fn{AtBoundary(&calls)};
+    EXPECT_EQ(g_counters.news, 0) << "48-byte callable must not allocate";
+    fn();
+    fn();
+  }
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(g_counters.deletes, 0);
+}
+
+TEST_F(UniqueFunctionSbo, OneByteOverBoundaryGoesToHeap) {
+  int calls = 0;
+  {
+    UniqueFunction fn{OverBoundary(&calls)};
+    EXPECT_EQ(g_counters.news, 1) << "49-byte callable must heap-allocate";
+    fn();
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(g_counters.deletes, 1) << "heap target must be freed exactly once";
+}
+
+TEST_F(UniqueFunctionSbo, OverAlignedGoesToHeapViaAlignedNew) {
+  int calls = 0;
+  {
+    UniqueFunction fn{OverAligned(&calls)};
+    EXPECT_EQ(g_counters.aligned_news, 1)
+        << "alignment > max_align_t must reject SBO and use aligned new";
+    fn();
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(g_counters.deletes, 1);
+}
+
+TEST_F(UniqueFunctionSbo, ThrowingMoveGoesToHeap) {
+  int calls = 0;
+  {
+    UniqueFunction fn{ThrowingMove(&calls)};
+    EXPECT_EQ(g_counters.news, 1)
+        << "potentially-throwing move must reject SBO (noexcept relocate)";
+    fn();
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(g_counters.deletes, 1);
+}
+
+TEST_F(UniqueFunctionSbo, MoveTransfersHeapOwnershipWithoutRealloc) {
+  int calls = 0;
+  UniqueFunction a{OverBoundary(&calls)};
+  const int news_after_construct = g_counters.news;
+
+  UniqueFunction b(std::move(a));   // move-construct: pointer handoff
+  UniqueFunction c;
+  c = std::move(b);                 // move-assign: pointer handoff
+  EXPECT_EQ(g_counters.news, news_after_construct)
+      << "moving a heap-backed UniqueFunction must not reallocate";
+  EXPECT_EQ(g_counters.deletes, 0) << "ownership moved, nothing freed yet";
+
+  c();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+  EXPECT_TRUE(static_cast<bool>(c));
+}
+
+TEST_F(UniqueFunctionSbo, MovedFromIsEmptyAndReusable) {
+  int calls = 0;
+  UniqueFunction a{AtBoundary(&calls)};
+  UniqueFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a)) << "moved-from must be empty";
+  EXPECT_TRUE(static_cast<bool>(b));
+
+  // Contract: a moved-from UniqueFunction is assignable and destructible.
+  a = UniqueFunction([&calls] { calls += 10; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  a();
+  b();
+  EXPECT_EQ(calls, 11);
+}
+
+TEST_F(UniqueFunctionSbo, MoveAssignDestroysPreviousTarget) {
+  int calls = 0;
+  UniqueFunction a{OverBoundary(&calls)};
+  EXPECT_EQ(g_counters.news, 1);
+  a = UniqueFunction();  // drop the target
+  EXPECT_EQ(g_counters.deletes, 1)
+      << "move-assign over a live target must destroy it";
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST_F(UniqueFunctionSbo, MoveOnlyCaptureWorks) {
+  // The raison d'etre: std::function rejects this lambda (not copyable).
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  UniqueFunction fn([owned = std::move(owned), &seen] { seen = *owned; });
+  fn();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST_F(UniqueFunctionSbo, EmptyAndNullptrAreFalsy) {
+  UniqueFunction a;
+  UniqueFunction b(nullptr);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST_F(UniqueFunctionSbo, InlineTargetDestroyedExactlyOnce) {
+  struct CountedDtor {
+    explicit CountedDtor(int* counter) : dtors(counter) {}
+    CountedDtor(CountedDtor&& other) noexcept : dtors(other.dtors) {
+      other.dtors = nullptr;
+    }
+    ~CountedDtor() {
+      if (dtors != nullptr) ++*dtors;
+    }
+    void operator()() {}
+    int* dtors;
+  };
+  int dtors = 0;
+  {
+    UniqueFunction fn{CountedDtor(&dtors)};
+    UniqueFunction moved(std::move(fn));
+    // Relocation destroys the source *shell* but not the live target.
+    EXPECT_EQ(dtors, 0);
+  }
+  EXPECT_EQ(dtors, 1) << "inline target must be destroyed exactly once";
+}
+
+}  // namespace
+}  // namespace lbb::runtime

@@ -37,6 +37,18 @@ LBB=${1:?usage: check_determinism.sh <lbb_bench-binary>}
 TMPDIR_DET=$(mktemp -d "${TMPDIR:-/tmp}/lbb_determinism.XXXXXX")
 trap 'rm -rf "$TMPDIR_DET"' EXIT
 
+# Static side of the same contracts first: lbb-lint proves no stray RNG /
+# weak memory order / hot-path allocation crept in at the source level
+# before the dynamic byte-identity checks below exercise them at runtime.
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+if command -v python3 >/dev/null 2>&1; then
+  echo "== lbb-lint: determinism/alloc/memory-order source contracts =="
+  python3 "$SCRIPT_DIR/lint/lbb_lint.py"
+  echo "ok: source tree passes lbb-lint"
+else
+  echo "skip: python3 not available for lbb-lint" >&2
+fi
+
 ARGS="--trials=48 --budget=1048576 --seed=9"
 
 echo "== CSV determinism: lbb_bench table1 $ARGS at threads=1,2,8 =="

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate for NEW/CHANGED files.
+#
+# The tree predates .clang-format, so a whole-tree check would demand a
+# big-bang reformat commit.  Instead this gate formats only the files
+# touched relative to a base revision (default: the merge-base with the
+# main branch; override with FORMAT_BASE=<rev> or $1) plus any untracked
+# C++ sources, and fails if clang-format would change them.
+#
+# Exit codes: 0 clean, 1 files need formatting, 77 clang-format (or git
+# history) unavailable -- ctest treats 77 as SKIP.
+set -u
+
+cd "$(dirname "$0")/../.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for cand in clang-format clang-format-25 clang-format-24 clang-format-23 \
+              clang-format-22 clang-format-21 clang-format-20 \
+              clang-format-19 clang-format-18 clang-format-17 \
+              clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then CLANG_FORMAT="$cand"; break; fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "format_check: no clang-format on PATH; skipping" >&2
+  exit 77
+fi
+
+BASE="${1:-${FORMAT_BASE:-}}"
+if [ -z "$BASE" ]; then
+  BASE=$(git merge-base HEAD origin/main 2>/dev/null \
+      || git merge-base HEAD main 2>/dev/null \
+      || git rev-parse 'HEAD~1' 2>/dev/null) || BASE=""
+fi
+if [ -z "$BASE" ]; then
+  echo "format_check: cannot determine a base revision; skipping" >&2
+  exit 77
+fi
+
+# Changed + untracked C++ sources (deduped, existing files only).
+mapfile -t files < <(
+  { git diff --name-only --diff-filter=ACMR "$BASE" -- \
+        '*.cpp' '*.hpp' '*.cc' '*.h' 2>/dev/null
+    git ls-files --others --exclude-standard -- \
+        '*.cpp' '*.hpp' '*.cc' '*.h' 2>/dev/null
+  } | sort -u)
+
+bad=0
+checked=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  checked=$((checked + 1))
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f (run: $CLANG_FORMAT -i $f)"
+    bad=$((bad + 1))
+  fi
+done
+
+echo "format_check: $checked file(s) vs base $BASE, $bad unformatted"
+[ "$bad" -eq 0 ]

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy runner.
+
+Runs clang-tidy (config from the repo's .clang-tidy) over every
+translation unit in compile_commands.json and compares the findings
+against the committed baseline (tools/lint/clang_tidy_baseline.txt):
+
+  * findings in the baseline          -> tolerated (legacy debt, burn down)
+  * findings NOT in the baseline      -> FAIL (new debt is rejected)
+  * baseline entries that no longer
+    fire                              -> reported as stale (shrink the file)
+
+Baseline lines are normalized to `<relpath>:[<check>] <message>` -- no
+line numbers, so unrelated edits above a tolerated finding don't churn
+the file.  Update with --update-baseline after reviewing that every
+added entry is genuinely pre-existing debt (see tools/lint/README.md).
+
+Exit codes: 0 clean (or only tolerated findings), 1 new findings,
+2 usage error, 77 environment cannot run the check (no clang-tidy
+binary, or no compile_commands.json) -- ctest treats 77 as SKIP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+BASELINE = os.path.join(HERE, "clang_tidy_baseline.txt")
+
+FINDING = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[^\]]+)\]$")
+
+
+def normalize(path: str, check: str, message: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), ROOT).replace(os.sep, "/")
+    return f"{rel}:[{check}] {message.strip()}"
+
+
+def load_baseline() -> list:
+    if not os.path.exists(BASELINE):
+        return []
+    with open(BASELINE, "r", encoding="utf-8") as f:
+        return [line.rstrip("\n") for line in f
+                if line.strip() and not line.startswith("#")]
+
+
+def tidy_sources(build_dir: str) -> list:
+    ccj = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccj):
+        return []
+    with open(ccj, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    sources = []
+    for e in entries:
+        path = os.path.abspath(os.path.join(e["directory"], e["file"]))
+        rel = os.path.relpath(path, ROOT)
+        # Project sources only: third-party (gtest etc.) and generated
+        # files are not ours to lint.
+        if rel.startswith("src" + os.sep):
+            sources.append(path)
+    return sorted(set(sources))
+
+
+def run_tidy(binary: str, build_dir: str, sources: list, jobs: int) -> list:
+    findings = []
+    # clang-tidy has no built-in -j; shard manually.
+    def run_one(src: str) -> str:
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", src],
+            capture_output=True, text=True, cwd=ROOT)
+        return proc.stdout
+
+    if jobs > 1:
+        with concurrent.futures.ThreadPoolExecutor(jobs) as pool:
+            outputs = list(pool.map(run_one, sources))
+    else:
+        outputs = [run_one(s) for s in sources]
+    for out in outputs:
+        for line in out.splitlines():
+            m = FINDING.match(line)
+            if m:
+                findings.append(normalize(
+                    m.group("path"), m.group("check"), m.group("message")))
+    return sorted(set(findings))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(ROOT, "build"),
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: search PATH, newest "
+                         "versioned name wins)")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, (os.cpu_count() or 2) - 1))
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with the current findings "
+                         "(review the diff before committing!)")
+    args = ap.parse_args(argv)
+
+    binary = args.clang_tidy
+    if binary is None:
+        candidates = ["clang-tidy"] + [
+            f"clang-tidy-{v}" for v in range(25, 11, -1)]
+        binary = next((c for c in candidates if shutil.which(c)), None)
+    if binary is None or not shutil.which(binary):
+        print("run_clang_tidy: no clang-tidy binary on PATH; skipping "
+              "(install LLVM to run this gate locally)", file=sys.stderr)
+        return 77
+    sources = tidy_sources(args.build_dir)
+    if not sources:
+        print(f"run_clang_tidy: no compile_commands.json under "
+              f"{args.build_dir} (configure with the 'tidy' preset); "
+              "skipping", file=sys.stderr)
+        return 77
+
+    findings = run_tidy(binary, args.build_dir, sources, args.jobs)
+
+    if args.update_baseline:
+        with open(BASELINE, "w", encoding="utf-8") as f:
+            f.write("# clang-tidy baseline: tolerated legacy findings, "
+                    "normalized to\n# <relpath>:[<check>] <message>.  "
+                    "Shrink freely; grow only via\n# --update-baseline "
+                    "with review (tools/lint/README.md).\n")
+            for line in findings:
+                f.write(line + "\n")
+        print(f"run_clang_tidy: baseline updated "
+              f"({len(findings)} entries)")
+        return 0
+
+    baseline = set(load_baseline())
+    new = [f for f in findings if f not in baseline]
+    stale = sorted(baseline - set(findings))
+
+    for f in new:
+        print(f"NEW: {f}")
+    for s in stale:
+        print(f"stale baseline entry (remove it): {s}")
+    print(f"run_clang_tidy: {len(findings)} finding(s), {len(new)} new, "
+          f"{len(stale)} stale, baseline {len(baseline)}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+// lbb-lint negative fixture: every allocation shape the hot-alloc rule
+// must flag, plus the shapes it must NOT flag (workspace-rooted receivers,
+// aliases, allow-comments, opaque problem calls).  Never compiled -- this
+// file exists so tools/lint/lbb_lint_test.py can prove the rule fires.
+#include <memory>
+#include <vector>
+
+#define LBB_HOT
+
+struct Piece {
+  int v;
+};
+
+struct Workspace {
+  std::vector<Piece> frames;
+  std::vector<Piece> heap;
+};
+
+struct Problem {
+  int bisect() { return 1; }  // opaque: the closure must not descend here
+  double weight() { return 1.0; }
+};
+
+// Reachable one level down from the hot root: still in the closure.
+inline void helper_grows(std::vector<Piece>& out) {
+  out.push_back(Piece{1});  // BAD: receiver not workspace-rooted
+}
+
+LBB_HOT inline int hot_kernel(Workspace& ws, Problem p, int n) {
+  std::vector<Piece> local;
+  local.reserve(16);             // BAD: local container growth
+  local.push_back(Piece{n});     // BAD
+  auto* leak = new Piece{n};     // BAD: operator new
+  auto owned = std::make_unique<Piece>();  // BAD: make_unique
+  void* raw = malloc(32);        // BAD: malloc
+
+  ws.frames.push_back(Piece{n});  // OK: workspace-rooted receiver
+  auto& heap = ws.heap;
+  heap.push_back(Piece{n});       // OK: alias of a ws member
+
+  // lbb-lint: allow(hot-alloc): fixture -- documents the allow mechanism.
+  local.push_back(Piece{n});  // OK: suppressed by the comment above
+
+  helper_grows(ws.frames);  // pulls helper_grows into the closure
+  (void)p.bisect();         // OK: opaque problem call
+  (void)p.weight();         // OK: opaque problem call
+  (void)leak;
+  (void)owned;
+  (void)raw;
+  return n;
+}

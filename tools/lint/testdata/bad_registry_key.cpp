@@ -1,0 +1,25 @@
+// lbb-lint negative fixture for the registry-key rule: malformed and
+// duplicate partitioner keys in both registration idioms.  Never compiled.
+struct PartitionerInfo {
+  const char* name;
+  const char* display;
+  const char* blurb;
+};
+
+inline void reg(const char* name, const char* display, const char* blurb) {
+  (void)name;
+  (void)display;
+  (void)blurb;
+}
+
+const PartitionerInfo kEntries[] = {
+    {{"BA Star"}, {"BA*"}, {"display-cased key"}},        // BAD: shape
+    {{"sim:ba"}, {"BA(sim)"}, {"first registration"}},    // OK
+    {{"sim:ba"}, {"BA(sim)2"}, {"second registration"}},  // BAD: duplicate
+};
+
+inline void register_fixture() {
+  reg("hf", "HF", "first");       // OK
+  reg("hf", "HF2", "again");      // BAD: duplicate of the entry above
+  reg("par:ba2!", "BA", "bang");  // BAD: '!' and digit outside [a-z_:']
+}

@@ -1,0 +1,22 @@
+// lbb-lint negative fixture for the raw-rng rule: every raw RNG primitive
+// the determinism contract bans outside src/stats/rng.hpp.  Never compiled.
+#include <cstdlib>
+#include <random>
+
+inline unsigned bad_rng_sources() {
+  std::srand(42);                      // BAD
+  unsigned a = std::rand();            // BAD
+  std::mt19937 gen(123);               // BAD
+  std::random_device rd;               // BAD
+  std::default_random_engine eng(7);   // BAD
+  unsigned b = lrand48();              // BAD (C library)
+
+  // std::rand mentioned in a comment must NOT fire, nor "std::rand" here:
+  const char* doc = "std::rand";  // OK: string literal
+  (void)doc;
+
+  // lbb-lint: allow(raw-rng): fixture -- documents the allow mechanism.
+  unsigned c = std::rand();  // OK: suppressed
+
+  return a + b + c + gen() + rd() + eng();
+}
