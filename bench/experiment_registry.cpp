@@ -45,6 +45,9 @@ const std::vector<Experiment>& experiments() {
       {"par_speedup", "",
        "measured vs simulator-predicted speedup of the par:* partitioners",
        run_par_speedup},
+      {"serve_load", "",
+       "closed-loop load on the resident PartitionService (p50/p95/p99)",
+       run_serve_load},
       {"perf_report", "",
        "machine-readable perf snapshot (BENCH_ratio_experiment.json)",
        run_perf_report},

@@ -67,7 +67,11 @@ int main(int argc, char** argv) {
   }
   try {
     // Shift argv so the experiment sees itself as argv[0].
-    return exp->run(argc - 1, argv + 1);
+    const int rc = exp->run(argc - 1, argv + 1);
+    // Join the shared par:* pools at a deterministic point instead of
+    // leaning on static destruction order (see par_partitioners.hpp).
+    lbb::runtime::shutdown_shared_pools();
+    return rc;
   } catch (const lbb::bench::CliError& e) {
     std::cerr << "lbb_bench " << exp->name << ": " << e.what() << "\n";
     return 2;

@@ -115,8 +115,11 @@ const ParEntry kParEntries[] = {
 
 namespace {
 
-/// Process-wide cache of one WorkStealingPool per thread count.  Pools are
-/// never destroyed before process exit, so returned references stay valid.
+/// Process-wide cache of one WorkStealingPool per thread count.  Pools
+/// stay alive until shutdown_shared_pools() or the cache's own exit-time
+/// destruction (first use is after the PartitionerRegistry singleton
+/// exists, so this static dies before the registry -- see the lifetime
+/// contract in par_partitioners.hpp).
 struct PoolCache {
   lbb::core::Mutex mu;
   std::map<std::int32_t, std::unique_ptr<WorkStealingPool>> pools
@@ -143,6 +146,18 @@ WorkStealingPool& shared_pool(std::int32_t threads) {
         static_cast<unsigned>(threads));
   }
   return *slot;
+}
+
+void shutdown_shared_pools() {
+  PoolCache& cache = pool_cache();
+  std::map<std::int32_t, std::unique_ptr<WorkStealingPool>> drained;
+  {
+    lbb::core::MutexLock lock(cache.mu);
+    drained.swap(cache.pools);
+  }
+  // Pool destructors stop and join their workers OUTSIDE the cache lock:
+  // a worker unwinding through shared_pool() must be able to take it.
+  drained.clear();
 }
 
 void register_par_partitioners() {

@@ -10,9 +10,26 @@ namespace lbb::runtime {
 
 /// Process-wide shared pool for a given worker count (0 = hardware
 /// concurrency, min 1).  Pools are created on first use and live until
-/// process exit; distinct thread counts get distinct pools so benchmark
-/// sweeps across {1,2,4,8} threads measure genuinely different pools.
+/// shutdown_shared_pools() or process exit, whichever comes first;
+/// distinct thread counts get distinct pools so benchmark sweeps across
+/// {1,2,4,8} threads measure genuinely different pools.
+///
+/// Lifetime contract: the cache is a function-local static constructed on
+/// first use -- strictly after the PartitionerRegistry singleton any
+/// factory touches -- so its exit-time destruction (which stops and joins
+/// every pool) runs strictly BEFORE the registry's.  Resident embedders
+/// (the partition service, long-lived drivers) should not rely on that
+/// implicit teardown: call shutdown_shared_pools() once serving stops so
+/// worker threads are joined at a point the embedder controls.
 [[nodiscard]] WorkStealingPool& shared_pool(std::int32_t threads = 0);
+
+/// Stops and joins every pool shared_pool() has created, releasing them.
+/// References previously returned by shared_pool() are invalidated; a
+/// later shared_pool() call builds a fresh pool, so shutdown/recreate
+/// cycles are safe (the runtime regression tests exercise this under
+/// tsan).  Idempotent; concurrent callers serialize on the cache lock.
+/// Must not be called while a par:* run is in flight.
+void shutdown_shared_pools();
 
 /// Registers par:ba, par:ba_star and par:ba_hf in the global
 /// PartitionerRegistry.  Idempotent; call before resolving names

@@ -1,0 +1,43 @@
+#include "stats/percentiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbb::stats {
+
+PercentileReservoir::PercentileReservoir(std::size_t capacity) {
+  ring_.resize(capacity > 0 ? capacity : 1);
+  scratch_.resize(ring_.size());
+}
+
+void PercentileReservoir::record(double x) noexcept {
+  ring_[static_cast<std::size_t>(count_) % ring_.size()] = x;
+  ++count_;
+}
+
+std::size_t PercentileReservoir::window() const noexcept {
+  return std::min<std::size_t>(static_cast<std::size_t>(count_),
+                               ring_.size());
+}
+
+double PercentileReservoir::quantile(double q) const noexcept {
+  const std::size_t n = window();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::copy(ring_.begin(),
+            ring_.begin() + static_cast<std::ptrdiff_t>(n),
+            scratch_.begin());
+  // Nearest-rank: the ceil(q*n)-th smallest sample (1-based), so p100 is
+  // the max and p0 the min regardless of window size.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(rank);
+  std::nth_element(scratch_.begin(), nth,
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+  return *nth;
+}
+
+void PercentileReservoir::reset() noexcept { count_ = 0; }
+
+}  // namespace lbb::stats

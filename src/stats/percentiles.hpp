@@ -1,0 +1,52 @@
+// Fixed-window reservoir for tail-latency accounting.
+//
+// The serving layer (src/service/) records one latency sample per completed
+// request and reports p50/p95/p99 in its perf JSON.  RunningStats cannot
+// answer percentile queries, and an unbounded sample vector would violate
+// the zero-allocation steady-state contract of warm serving, so this is a
+// bounded ring: the most recent `capacity` samples win, record() never
+// allocates after construction, and quantile() selects into a scratch
+// buffer preallocated alongside the ring (so even snapshotting is
+// allocation-free).
+//
+// Not thread-safe; the owner serializes access (the service records under
+// its own mutex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lbb::stats {
+
+class PercentileReservoir {
+ public:
+  /// `capacity` > 0 samples are retained (the most recent ones once the
+  /// ring wraps); both the ring and the selection scratch are allocated
+  /// here, never later.
+  explicit PercentileReservoir(std::size_t capacity = 1 << 14);
+
+  /// Records one sample.  O(1), allocation-free.
+  void record(double x) noexcept;
+
+  /// Samples recorded since construction / the last reset (may exceed
+  /// capacity; only the newest `capacity` contribute to quantiles).
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+
+  /// Number of samples currently retained in the window.
+  [[nodiscard]] std::size_t window() const noexcept;
+
+  /// The q-quantile (q in [0, 1]) of the retained window via
+  /// nearest-rank selection; 0.0 when empty.  Allocation-free.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Forgets all samples (capacity retained).
+  void reset() noexcept;
+
+ private:
+  std::vector<double> ring_;
+  mutable std::vector<double> scratch_;  ///< quantile() selection buffer
+  std::int64_t count_ = 0;
+};
+
+}  // namespace lbb::stats

@@ -26,6 +26,7 @@
 #include "problems/synthetic.hpp"
 #include "runtime/par_partition.hpp"
 #include "runtime/work_stealing.hpp"
+#include "service/partition_service.hpp"
 #include "stats/alloc_stats.hpp"
 
 namespace lbb::core {
@@ -221,6 +222,50 @@ TEST(AllocGate, ParBaMultiWorkerSteadyStateStabilizes) {
   EXPECT_EQ(consecutive_clean, kTrials)
       << "parallel path never reached an allocation-free steady state in "
       << calls << " calls";
+}
+
+// ---------------------------------------------------------------------------
+// Resident service (ISSUE 8): warm cache-hit serving must be end-to-end
+// allocation-free -- on the caller thread (submit + wait are a ring insert
+// and an atomic wait) and on the worker thread (dispatch + complete of a
+// hit touch only preallocated state), which the service attributes itself
+// by measuring alloc_stats() deltas around every request it handles.
+
+TEST(AllocGate, ServiceWarmCacheHitsAreAllocationFree) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  service::PartitionService svc(cfg);
+  service::RequestSpec spec;
+  spec.algo = "ba";
+  spec.n = 256;
+  service::PartitionRequest req;
+  // Warm: the first call computes and caches; a few hits exercise every
+  // lazily-sized structure on both sides of the queue.
+  for (int warm = 0; warm < 5; ++warm) {
+    req.spec = spec;
+    svc.submit(req);
+    ASSERT_EQ(req.wait(), service::ServiceStatus::kOk);
+    if (warm > 0) {
+      ASSERT_TRUE(req.served_from_cache());
+    }
+  }
+  const auto svc_before = svc.snapshot();
+  const auto caller_before = lbb::stats::alloc_stats();
+  for (int t = 0; t < kTrials; ++t) {
+    req.spec = spec;
+    svc.submit(req);
+    ASSERT_EQ(req.wait(), service::ServiceStatus::kOk);
+    ASSERT_TRUE(req.served_from_cache());
+  }
+  const auto caller_delta = lbb::stats::alloc_stats() - caller_before;
+  const auto svc_after = svc.snapshot();
+  EXPECT_EQ(caller_delta.count, 0)
+      << "caller-side submit/wait allocated " << caller_delta.bytes
+      << " bytes across " << kTrials << " warm cache hits";
+  EXPECT_EQ(svc_after.alloc_count - svc_before.alloc_count, 0)
+      << "worker-side cache-hit serving allocated "
+      << (svc_after.alloc_bytes - svc_before.alloc_bytes) << " bytes";
+  EXPECT_EQ(svc_after.cache_hits - svc_before.cache_hits, kTrials);
 }
 
 TEST(AllocGate, ArenaSteadyStateIsAllocationFree) {

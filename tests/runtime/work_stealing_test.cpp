@@ -424,5 +424,64 @@ TEST(ParRegistry, SharedPoolReusesPerThreadCount) {
   EXPECT_EQ(c.size(), 3u);
 }
 
+// Regression: shared pools used to have no teardown path other than static
+// destruction; resident embedders need an explicit join point.  Exercises
+// the full cycle -- use, shutdown, recreate, shutdown again -- with real
+// work between the steps so tsan sees the worker threads start and join
+// cleanly.
+TEST(ParRegistry, SharedPoolShutdownJoinsAndAllowsRecreation) {
+  WorkStealingPool& before = shared_pool(2);
+  auto run_once = [](std::uint64_t seed) {
+    return par_ba_partition(shared_pool(2), make_problem(seed), 64,
+                            ParOptions{});
+  };
+  const auto first = run_once(11);
+  EXPECT_EQ(first.pieces.size(), 64u);
+
+  shutdown_shared_pools();
+  // A fresh pool must come up after teardown and serve identical answers.
+  WorkStealingPool& after = shared_pool(2);
+  EXPECT_EQ(after.size(), 2u);
+  const auto second = run_once(11);
+  expect_identical(second, first, "pool recreated after shutdown");
+
+  // Idempotent: a second (and an empty-cache) shutdown is a no-op.
+  shutdown_shared_pools();
+  shutdown_shared_pools();
+  EXPECT_EQ(shared_pool(1).size(), 1u);
+  (void)before;
+}
+
+// Regression (pinning the resolved-count contract): with threads <= 0 the
+// par.threads counter must report the worker count the pool actually
+// resolved to (hardware_concurrency, min 1), never the raw config value.
+TEST(ParRegistry, ThreadsCounterReportsResolvedWorkerCount) {
+  register_par_partitioners();
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double resolved = static_cast<double>(hw != 0 ? hw : 1u);
+
+  struct CapturingSink final : core::MetricsSink {
+    std::map<std::string, double> counters;
+    void on_counter(std::string_view key, double value) override {
+      counters[std::string(key)] = value;
+    }
+  };
+
+  for (const std::int32_t threads : {0, -4}) {
+    core::PartitionerConfig config;
+    config.threads = threads;
+    const auto part =
+        core::PartitionerRegistry::instance().create("par:ba", config);
+    CapturingSink sink;
+    core::RunContext ctx(5);
+    ctx.sink = &sink;
+    const auto out = part->run(ctx, core::AnyProblem(make_problem(9)), 32);
+    EXPECT_EQ(out.pieces.size(), 32u);
+    EXPECT_EQ(sink.counters.at("par.threads"), resolved)
+        << "config.threads=" << threads;
+    EXPECT_GT(sink.counters.at("par.threads"), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace lbb::runtime

@@ -1,0 +1,77 @@
+// Tests for the fixed-capacity latency reservoir (stats/percentiles.hpp):
+// nearest-rank quantiles on known samples, ring-buffer wraparound, and
+// reset semantics.
+#include <gtest/gtest.h>
+
+#include "stats/percentiles.hpp"
+
+namespace lbb::stats {
+namespace {
+
+TEST(PercentileReservoir, EmptyReservoirReportsZero) {
+  PercentileReservoir res(16);
+  EXPECT_EQ(res.count(), 0);
+  EXPECT_EQ(res.window(), 0u);
+  EXPECT_DOUBLE_EQ(res.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.99), 0.0);
+}
+
+TEST(PercentileReservoir, NearestRankOnKnownSamples) {
+  PercentileReservoir res(128);
+  // 1..100 in a scrambled-ish order; nearest-rank q maps to ceil(q*100).
+  for (int i = 0; i < 100; ++i) res.record(((i * 37) % 100) + 1);
+  EXPECT_EQ(res.window(), 100u);
+  EXPECT_DOUBLE_EQ(res.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(res.quantile(1.00), 100.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.0), 1.0);  // clamped to the minimum
+}
+
+TEST(PercentileReservoir, SingleSample) {
+  PercentileReservoir res(8);
+  res.record(42.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.99), 42.0);
+}
+
+TEST(PercentileReservoir, RingOverwritesOldestBeyondCapacity) {
+  PercentileReservoir res(4);
+  for (int i = 1; i <= 10; ++i) res.record(i);
+  // Only the last 4 samples (7, 8, 9, 10) remain in the window.
+  EXPECT_EQ(res.count(), 10);
+  EXPECT_EQ(res.window(), 4u);
+  EXPECT_DOUBLE_EQ(res.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(res.quantile(1.0), 10.0);
+}
+
+TEST(PercentileReservoir, ResetClearsWindow) {
+  PercentileReservoir res(8);
+  for (int i = 1; i <= 6; ++i) res.record(i * 10);
+  res.reset();
+  EXPECT_EQ(res.count(), 0);
+  EXPECT_EQ(res.window(), 0u);
+  EXPECT_DOUBLE_EQ(res.quantile(0.5), 0.0);
+  res.record(5.0);
+  EXPECT_DOUBLE_EQ(res.quantile(0.5), 5.0);
+}
+
+TEST(PercentileReservoir, QuantilesAreMonotone) {
+  PercentileReservoir res(64);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 64; ++i) {
+    x ^= x >> 27;
+    x *= 0x3c79ac492ba7b653ULL;
+    res.record(static_cast<double>(x % 1000));
+  }
+  double prev = res.quantile(0.0);
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = res.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace lbb::stats

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`
-or `lbb_bench par_speedup`.
+"""Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`,
+`lbb_bench par_speedup`, or `lbb_bench serve_load`.
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--band 0.15]
@@ -20,6 +20,12 @@ matched cell the script compares:
     the band (default 15%) is a scaling regression.  Only judged when both
     reports come from machines with the same hardware_concurrency --
     speedups from different core counts are not comparable.
+  * p50_ms / p95_ms / p99_ms / partitions_per_sec -- serve_load latency
+    cells.  A p99 increase beyond the band, or a serving-throughput drop
+    beyond it, is a tail-latency regression; like speedups these are only
+    judged between matching hardware_concurrency reports.  p50/p95 shifts
+    are printed informationally (the tail is the contract; the median
+    mostly tracks cache-hit cost).
 
 Exit status: 0 if no regression, 1 if any cell regressed, 2 on usage or
 input errors.  Cells present in only one report are listed but do not fail
@@ -129,13 +135,29 @@ def main(argv):
             dspeed = rel_change(b["speedup"], c.get("speedup", 0))
             if dspeed < -args.band:
                 verdicts.append(f"speedup {fmt_pct(dspeed)} < band")
+        # Tail-latency regression (serve_load cells): only the p99 and the
+        # serving throughput gate; p50/p95 are informational below.
+        has_latency = b.get("p99_ms", 0) > 0 and c.get("p99_ms", 0) > 0
+        if same_hw and has_latency:
+            dp99 = rel_change(b["p99_ms"], c["p99_ms"])
+            if dp99 > args.band:
+                verdicts.append(f"p99 {fmt_pct(dp99)} > band")
+            if b.get("partitions_per_sec", 0) > 0:
+                dpps = rel_change(b["partitions_per_sec"],
+                                  c.get("partitions_per_sec", 0))
+                if dpps < -args.band:
+                    verdicts.append(f"partitions/s {fmt_pct(dpps)} < band")
         status = "REGRESSED: " + "; ".join(verdicts) if verdicts else "ok"
         if verdicts:
             regressions.append(label)
-        rows.append((label,
-                     f"wall {fmt_pct(wall)}  rate {fmt_pct(rate)}  "
-                     f"allocs {dcount:+d} ({dbytes:+d} B)",
-                     status))
+        detail = (f"wall {fmt_pct(wall)}  rate {fmt_pct(rate)}  "
+                  f"allocs {dcount:+d} ({dbytes:+d} B)")
+        if has_latency:
+            detail += (
+                f"  p50 {fmt_pct(rel_change(b.get('p50_ms', 0), c.get('p50_ms', 0)))}"
+                f"  p95 {fmt_pct(rel_change(b.get('p95_ms', 0), c.get('p95_ms', 0)))}"
+                f"  p99 {fmt_pct(rel_change(b['p99_ms'], c['p99_ms']))}")
+        rows.append((label, detail, status))
 
     width = max((len(r[0]) for r in rows), default=0)
     for label, detail, status in rows:

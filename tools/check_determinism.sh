@@ -4,12 +4,18 @@
 # Runs `lbb_bench table1` on a small grid at --threads=1, 2 and 8 and
 # requires the CSVs to be byte-identical, runs `lbb_bench par_speedup
 # --verify` so the work-stealing partitioners are byte-compared against the
-# sequential kernels at several thread counts, then smoke-checks that
-# `lbb_bench perf_report` emits a well-formed BENCH_ratio_experiment.json.
-# Pure output comparison -- no wall-clock assertions, so it is safe on
-# loaded or single-core CI runners.
+# sequential kernels at several thread counts, runs `lbb_bench serve_load
+# --smoke` so the resident PartitionService's cache-hit / cache-miss /
+# cache-bypass answers are byte-compared and warm serving is proven
+# allocation-free, then smoke-checks that `lbb_bench perf_report` emits a
+# well-formed BENCH_ratio_experiment.json.  Pure output comparison -- no
+# wall-clock assertions, so it is safe on loaded or single-core CI runners.
 #
-# Usage: check_determinism.sh <lbb_bench-binary>
+# Usage: check_determinism.sh <lbb_bench-binary> [build-dir]
+#
+# When a build directory is given, the `service`-labeled ctest suite runs
+# too (batching, coalescing, cancellation-under-load and shutdown-drain
+# semantics of the serving layer).
 #
 # Sanitizer workflow (catches the UB this gate cannot): the CMake presets
 # asan / ubsan / tsan configure sanitized builds via -DLBB_SANITIZE=..., and
@@ -32,7 +38,8 @@
 #   ctest --preset asan-core
 set -eu
 
-LBB=${1:?usage: check_determinism.sh <lbb_bench-binary>}
+LBB=${1:?usage: check_determinism.sh <lbb_bench-binary> [build-dir]}
+BUILD_DIR=${2:-}
 
 TMPDIR_DET=$(mktemp -d "${TMPDIR:-/tmp}/lbb_determinism.XXXXXX")
 trap 'rm -rf "$TMPDIR_DET"' EXIT
@@ -71,6 +78,20 @@ echo "== par:* byte-identity: lbb_bench par_speedup --verify =="
 "$LBB" par_speedup --verify --logn=13 --threads=1,2,4,8 \
     --algos=par:ba,par:ba_star,par:ba_hf
 echo "ok: par:* partitions byte-identical to sequential kernels"
+
+echo "== serving byte-identity + zero-alloc: lbb_bench serve_load --smoke =="
+# The resident service must hand back byte-identical partitions whether an
+# answer comes from a cache miss, a cache hit, or a cache-bypassing
+# recompute, and warm cache-hit serving must not allocate (asserted by the
+# smoke harness via the interposing probe when it is linked).
+"$LBB" serve_load --smoke
+echo "ok: service hit==miss==bypass byte-identical, warm serving clean"
+
+if [ -n "$BUILD_DIR" ]; then
+  echo "== service suite: ctest -L service =="
+  (cd "$BUILD_DIR" && ctest -L service --output-on-failure)
+  echo "ok: service-labeled tests pass"
+fi
 
 echo "== perf_report smoke =="
 REPORT="$TMPDIR_DET/BENCH_ratio_experiment.json"
