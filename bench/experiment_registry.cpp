@@ -2,61 +2,80 @@
 
 namespace lbb::bench {
 
+// The flags column is the single source of truth for each experiment's key
+// options: --help renders it verbatim (lbb_bench.cpp), so a new option is
+// added HERE, next to the entry, not in a hand-maintained usage string.
 const std::vector<Experiment>& experiments() {
   static const std::vector<Experiment> kExperiments = {
       {"table1", "table1_ratios",
-       "performance ratios vs N for BA/BA*/BA-HF/HF (Table 1)", run_table1},
+       "performance ratios vs N for BA/BA*/BA-HF/HF (Table 1)",
+       "--trials --seed --threads --batch --algos --lo --hi --beta --budget "
+       "--csv --time-limit --full",
+       run_table1},
       {"fig5", "fig5_avg_ratio",
        "average performance ratio vs log2(N), ASCII plot (Figure 5)",
+       "--trials --seed --threads --batch --algos --lo --hi --beta --budget "
+       "--csv --time-limit --full",
        run_fig5},
       {"beta_sweep", "",
-       "BA-HF ratio as a function of the beta switch parameter", run_beta_sweep},
+       "BA-HF ratio as a function of the beta switch parameter",
+       "--trials --seed --threads --lo --hi --full", run_beta_sweep},
       {"interval_sweep", "",
        "ratios across [alpha_lo, alpha_hi] bisector-quality intervals",
-       run_interval_sweep},
+       "--trials --seed --threads --full", run_interval_sweep},
       {"runtime_scaling", "",
        "simulated makespan/messages/collectives of PHF/BA/BA-HF vs N",
-       run_runtime_scaling},
+       "--trials --lo --hi --beta", run_runtime_scaling},
       {"phf_iterations", "",
-       "PHF phase-2 iteration counts vs the Theorem 3 bound", run_phf_iterations},
+       "PHF phase-2 iteration counts vs the Theorem 3 bound",
+       "--trials --n", run_phf_iterations},
       {"applications", "",
        "all algorithms on every application substrate (FEM, quadrature, ...)",
-       run_applications},
+       "--trials --n", run_applications},
       {"collective_costs", "",
-       "network collective round counts vs the CostModel's charges",
+       "network collective round counts vs the CostModel's charges", "",
        run_collective_costs},
       {"ablation_oblivious", "",
        "weight-oblivious baselines (BFS/DFS/random) vs weight-aware HF",
-       run_ablation_oblivious},
+       "--trials", run_ablation_oblivious},
       {"bound_tightness", "",
        "observed vs proven worst-case ratios on point-mass instances",
-       run_bound_tightness},
+       "--nmax", run_bound_tightness},
       {"topology_ablation", "",
        "simulated algorithms across machine topologies and fault profiles",
-       run_topology_ablation},
+       "--trials --logn --loss --slow", run_topology_ablation},
       {"fault_sweep", "",
        "PHF free-processor managers under message loss/delay profiles",
-       run_fault_sweep},
+       "--trials --logn --alpha", run_fault_sweep},
       {"noise_robustness", "",
        "partition quality under multiplicative weight-estimate noise",
-       run_noise_robustness},
+       "--trials --logn --threads", run_noise_robustness},
       {"fem_speedup", "",
-       "end-to-end speedups on adaptive FEM refinement trees", run_fem_speedup},
+       "end-to-end speedups on adaptive FEM refinement trees",
+       "--trials --elements --focus", run_fem_speedup},
       {"par_speedup", "",
        "measured vs simulator-predicted speedup of the par:* partitioners",
+       "--trials --logn --threads --algos --grain --seed --out --verify",
        run_par_speedup},
       {"serve_load", "",
        "closed-loop load on the resident PartitionService (p50/p95/p99)",
+       "--workers --clients --requests --keys --cache --queue --logn "
+       "--algos --alpha --beta --seed --out --smoke",
        run_serve_load},
+      {"tail_study", "",
+       "million-trial max-ratio tail (p50/p99/p99.9 vs the proven bounds)",
+       "--trials --logn --algos --threads --batch --budget --seed "
+       "--hist-max --bins --csv --out --smoke",
+       run_tail_study},
       {"perf_report", "",
        "machine-readable perf snapshot (BENCH_ratio_experiment.json)",
-       run_perf_report},
+       "--out --threads --trials --batch", run_perf_report},
       {"micro_core", "",
        "google-benchmark microbenchmarks of the core partitioners",
-       run_micro_core},
+       "--benchmark_filter --benchmark_repetitions", run_micro_core},
       {"micro_sim", "",
        "google-benchmark microbenchmarks of the simulated machine",
-       run_micro_sim},
+       "--benchmark_filter --benchmark_repetitions", run_micro_sim},
   };
   return kExperiments;
 }

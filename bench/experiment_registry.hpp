@@ -22,6 +22,7 @@ struct Experiment {
   std::string_view name;          ///< subcommand, e.g. "table1"
   std::string_view legacy_alias;  ///< pre-driver binary name ("" if same)
   std::string_view description;   ///< one line for --help
+  std::string_view flags;         ///< key --options, rendered by --help
   int (*run)(int argc, char** argv);
 };
 
@@ -48,6 +49,7 @@ int run_noise_robustness(int argc, char** argv);
 int run_fem_speedup(int argc, char** argv);
 int run_par_speedup(int argc, char** argv);
 int run_serve_load(int argc, char** argv);
+int run_tail_study(int argc, char** argv);
 int run_perf_report(int argc, char** argv);
 int run_micro_core(int argc, char** argv);
 int run_micro_sim(int argc, char** argv);

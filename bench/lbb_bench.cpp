@@ -32,6 +32,11 @@ void print_usage(std::ostream& os) {
   for (const lbb::bench::Experiment& exp : lbb::bench::experiments()) {
     os << "  " << std::left << std::setw(20) << exp.name << exp.description
        << "\n";
+    // Key flags come from the registry entry itself, so --help can never
+    // drift from what the experiment actually parses.
+    if (!exp.flags.empty()) {
+      os << "  " << std::setw(20) << "" << exp.flags << "\n";
+    }
   }
   os << "\n"
      << "partitioners (names accepted where --algos applies):\n";

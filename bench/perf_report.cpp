@@ -5,17 +5,28 @@
 // per-cell wall time, bisection counts and throughput to a JSON file, so CI
 // and PRs can track the hot-path kernels and thread scaling over time.
 //
-// Usage: lbb_bench perf_report [--out=BENCH_ratio_experiment.json]
-//                              [--threads=K] [--trials=N]
+// Each cell is measured TWICE -- once through the batched SoA kernels
+// (--batch lanes, the production default) and once through the scalar
+// kernels -- and the report carries both throughputs plus their ratio
+// (batch_speedup).  The two runs must agree bit-for-bit on the statistics
+// (the batched engine's core contract); perf_report exits nonzero if they
+// ever diverge, so every perf run doubles as an identity check.
 //
-// The statistics in the report are byte-identical for every --threads value
-// (see src/experiments/ratio_experiment.hpp); only the wall times change.
+// Usage: lbb_bench perf_report [--out=BENCH_ratio_experiment.json]
+//                              [--threads=K] [--trials=N] [--batch=B]
+//
+// The statistics in the report are byte-identical for every --threads and
+// --batch value (see src/experiments/ratio_experiment.hpp); only the wall
+// times change.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_cli.hpp"
 #include "bench/experiment_registry.hpp"
+#include "experiments/batch_trials.hpp"
 #include "experiments/ratio_experiment.hpp"
 #include "stats/alloc_stats.hpp"
 #include "stats/json.hpp"
@@ -29,6 +40,8 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
                                     : cli.get_string("out");
   const std::int32_t threads = cli.threads();
   const auto trials = static_cast<std::int32_t>(cli.get_int("trials", 200));
+  const auto batch = static_cast<std::int32_t>(
+      cli.get_int("batch", experiments::kDefaultTrialBatch));
 
   struct Pinned {
     const char* name;
@@ -49,12 +62,18 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
   json.member("benchmark", "ratio_experiment");
   json.member("threads", threads);
   json.member("trials", trials);
+  json.member("batch", batch);
   // lbb_bench links the interposing allocation probe, so the alloc_* cell
   // members below are live; they read 0 in a binary without the probe.
   json.member("alloc_probe", stats::alloc_probe_linked());
+  // Same-hardware guard for tools/bench_diff.py: batch_speedup compares two
+  // wall-clock rates, so it is only judged between matching machines.
+  json.member("hardware_concurrency",
+              static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   json.key("experiments");
   json.begin_array();
 
+  bool identical = true;
   for (const Pinned& pin : pinned) {
     experiments::RatioExperimentConfig config;
     config.dist = problems::AlphaDistribution::uniform(pin.lo, pin.hi);
@@ -65,7 +84,10 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
     config.algos = {"ba", "ba_hf", "hf"};
     config.bisection_budget = std::int64_t{1} << 22;
 
+    config.batch = batch;
     const auto result = experiments::run_ratio_experiment(config);
+    config.batch = 1;
+    const auto scalar = experiments::run_ratio_experiment(config);
 
     json.begin_object();
     json.member("name", pin.name);
@@ -73,10 +95,25 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
     json.member("alpha_hi", pin.hi);
     json.key("cells");
     json.begin_array();
-    for (const auto& cell : result.cells) {
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      const auto& cell = result.cells[i];
+      const auto& scell = scalar.cells[i];
+      // Batched-vs-scalar identity: the statistics must agree exactly.
+      if (cell.ratio.mean() != scell.ratio.mean() ||
+          cell.ratio.max() != scell.ratio.max() ||
+          cell.bisections != scell.bisections) {
+        std::cerr << "perf_report: batched and scalar statistics DIVERGED in "
+                  << pin.name << " " << cell.algo << " n=2^" << cell.log2_n
+                  << "\n";
+        identical = false;
+      }
       const double bisections_per_sec =
           cell.wall_seconds > 0.0
               ? static_cast<double>(cell.bisections) / cell.wall_seconds
+              : 0.0;
+      const double scalar_bisections_per_sec =
+          scell.wall_seconds > 0.0
+              ? static_cast<double>(scell.bisections) / scell.wall_seconds
               : 0.0;
       json.begin_object(/*inline_mode=*/true);
       json.member("algo", cell.display);
@@ -90,6 +127,11 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
       json.member("wall_seconds", cell.wall_seconds);
       json.member("bisections", cell.bisections);
       json.member("bisections_per_sec", bisections_per_sec);
+      json.member("scalar_bisections_per_sec", scalar_bisections_per_sec);
+      json.member("batch_speedup",
+                  scalar_bisections_per_sec > 0.0
+                      ? bisections_per_sec / scalar_bisections_per_sec
+                      : 0.0);
       json.member("mean_ratio", cell.ratio.mean());
       json.member("alloc_count", cell.alloc_count);
       json.member("alloc_bytes", cell.alloc_bytes);
@@ -103,7 +145,12 @@ int lbb::bench::run_perf_report(int argc, char** argv) {
   json.end_object();
   json.finish();
 
+  if (!identical) {
+    std::cerr << "perf_report: FAILED batched-vs-scalar identity\n";
+    return 1;
+  }
   std::cout << "perf report written to " << out_path << " (threads = "
-            << threads << ", trials <= " << trials << ")\n";
+            << threads << ", trials <= " << trials << ", batch = " << batch
+            << ")\n";
   return 0;
 }

@@ -1,0 +1,231 @@
+// Million-trial tail study of the max-ratio distribution (experiment E17).
+//
+// The paper's theorems bound the WORST case; the ratio experiment reports
+// means.  This harness runs the batched SoA trial engine at tail scale and
+// prints, per (algorithm, N) cell, the p50/p90/p99/p99.9 and observed max
+// of the performance ratio next to the proven upper bound -- the empirical
+// question being how much daylight the tail leaves below the theorem.
+//
+// Usage:
+//   lbb_bench tail_study                       quick budgeted run
+//   lbb_bench tail_study --trials=1048576 --logn=10,14 --algos=ba,hf
+//   lbb_bench tail_study --threads=8 --batch=16    same output bytes
+//   lbb_bench tail_study --csv=tail.csv --out=BENCH_tail_study.json
+//   lbb_bench tail_study --smoke               batched-vs-scalar identity
+//                                              gate (widths 1/4/8/16 x
+//                                              threads 1/2); exit 1 on any
+//                                              divergence
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_cli.hpp"
+#include "bench/experiment_registry.hpp"
+#include "experiments/tail_study.hpp"
+#include "stats/alloc_stats.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using lbb::experiments::TailStudyCell;
+using lbb::experiments::TailStudyConfig;
+using lbb::experiments::TailStudyResult;
+
+TailStudyConfig config_from_cli(const lbb::bench::Cli& cli) {
+  TailStudyConfig config;
+  config.dist = lbb::problems::AlphaDistribution::uniform(
+      cli.get_double("lo", 0.01), cli.get_double("hi", 0.5));
+  config.beta = cli.get_double("beta", 1.0);
+  config.trials = cli.get_int("trials", config.trials);
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.threads = cli.threads();
+  config.batch =
+      static_cast<std::int32_t>(cli.get_int("batch", config.batch));
+  config.bisection_budget = cli.get_int("budget", config.bisection_budget);
+  config.hist_max = cli.get_double("hist-max", config.hist_max);
+  config.hist_bins =
+      static_cast<std::int32_t>(cli.get_int("bins", config.hist_bins));
+  config.time_limit_seconds = cli.get_double("time-limit", 0.0);
+  if (const auto algos = cli.get_list("algos"); !algos.empty()) {
+    config.algos = algos;
+  }
+  if (const auto logn = cli.get_list("logn"); !logn.empty()) {
+    config.log2_n.clear();
+    for (const std::string& k : logn) {
+      config.log2_n.push_back(static_cast<std::int32_t>(std::stoi(k)));
+    }
+  }
+  return config;
+}
+
+/// True when every reported number of the two runs agrees bit-for-bit:
+/// the fixed-order RunningStats, the bisection totals, and each integer
+/// histogram bin.  This is the engine's determinism contract across
+/// --threads and --batch (see experiments/tail_study.hpp).
+bool cells_identical(const TailStudyResult& a, const TailStudyResult& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const TailStudyCell& x = a.cells[i];
+    const TailStudyCell& y = b.cells[i];
+    if (x.algo != y.algo || x.log2_n != y.log2_n || x.trials != y.trials ||
+        x.bisections != y.bisections) {
+      return false;
+    }
+    if (x.ratio.count() != y.ratio.count() ||
+        x.ratio.mean() != y.ratio.mean() || x.ratio.min() != y.ratio.min() ||
+        x.ratio.max() != y.ratio.max()) {
+      return false;
+    }
+    if (x.tail.count() != y.tail.count() || x.tail.min() != y.tail.min() ||
+        x.tail.max() != y.tail.max() || x.tail.bins() != y.tail.bins()) {
+      return false;
+    }
+    for (std::int32_t bin = 0; bin < x.tail.bins(); ++bin) {
+      if (x.tail.bin_count(bin) != y.tail.bin_count(bin)) return false;
+    }
+  }
+  return true;
+}
+
+/// --smoke: a small study run through the scalar path and then through
+/// every batched width and a threaded configuration, each required to be
+/// bit-identical to the scalar reference.
+int run_smoke() {
+  TailStudyConfig base;
+  base.trials = 256;
+  base.log2_n = {6, 9};
+  base.algos = {"ba", "ba_star", "ba_hf", "hf"};
+  base.bisection_budget = 0;
+  base.hist_bins = 64;
+  base.seed = 7;
+
+  TailStudyConfig scalar = base;
+  scalar.batch = 1;
+  scalar.threads = 1;
+  const TailStudyResult reference = lbb::experiments::run_tail_study(scalar);
+
+  int failures = 0;
+  for (const std::int32_t batch : {1, 4, 8, 16}) {
+    for (const std::int32_t threads : {1, 2}) {
+      TailStudyConfig config = base;
+      config.batch = batch;
+      config.threads = threads;
+      const TailStudyResult result = lbb::experiments::run_tail_study(config);
+      const bool ok = cells_identical(reference, result);
+      std::cout << "tail_study smoke: batch=" << batch
+                << " threads=" << threads
+                << (ok ? " identical" : " DIVERGED") << "\n";
+      if (!ok) ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "tail_study --smoke: FAILED (" << failures
+              << " configuration(s) diverged from the scalar reference)\n";
+    return 1;
+  }
+  std::cout << "tail_study smoke: all batched/threaded runs byte-identical "
+               "to scalar\n";
+  return 0;
+}
+
+void write_json(const TailStudyResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("tail_study: cannot open " + path +
+                             " for writing");
+  }
+  lbb::stats::JsonWriter json(out);
+  json.begin_object();
+  json.member("benchmark", "tail_study");
+  json.member("threads", result.config.threads);
+  json.member("batch", result.config.batch);
+  json.member("hist_max", result.config.hist_max);
+  json.member("hist_bins", result.config.hist_bins);
+  json.member("alloc_probe", lbb::stats::alloc_probe_linked());
+  // Lets tools/bench_diff.py refuse to compare wall-clock numbers (and
+  // only those -- the statistics are machine-independent) across machines.
+  json.member("hardware_concurrency",
+              static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.key("cells");
+  json.begin_array();
+  for (const TailStudyCell& cell : result.cells) {
+    const double bisections_per_sec =
+        cell.wall_seconds > 0.0
+            ? static_cast<double>(cell.bisections) / cell.wall_seconds
+            : 0.0;
+    json.begin_object(/*inline_mode=*/true);
+    json.member("algo", cell.display);
+    json.member("log2_n", cell.log2_n);
+    json.member("trials", cell.trials);
+    json.member("upper_bound", cell.upper_bound);
+    json.member("mean_ratio", cell.ratio.mean());
+    json.member("p50", cell.tail.quantile(0.50));
+    json.member("p90", cell.tail.quantile(0.90));
+    json.member("p99", cell.tail.quantile(0.99));
+    json.member("p999", cell.tail.quantile(0.999));
+    json.member("max_ratio", cell.ratio.max());
+    json.member("wall_seconds", cell.wall_seconds);
+    json.member("bisections", cell.bisections);
+    json.member("bisections_per_sec", bisections_per_sec);
+    json.member("alloc_count", cell.alloc_count);
+    json.member("alloc_bytes", cell.alloc_bytes);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.finish();
+}
+
+}  // namespace
+
+int lbb::bench::run_tail_study(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  if (cli.flag("smoke")) {
+    return run_smoke();
+  }
+
+  const TailStudyConfig config = config_from_cli(cli);
+  std::cout << "Tail study: alpha-hat ~ " << config.dist.describe()
+            << ", beta = " << config.beta << ", trials <= " << config.trials
+            << (config.bisection_budget > 0 ? " (budget-capped)" : "")
+            << ", batch = " << config.batch << "\n\n";
+
+  const TailStudyResult result = lbb::experiments::run_tail_study(config);
+
+  stats::TextTable table;
+  table.set_header({"algo", "logN", "trials", "ub", "mean", "p50", "p90",
+                    "p99", "p99.9", "max"});
+  std::string last_algo;
+  for (const TailStudyCell& cell : result.cells) {
+    if (cell.algo != last_algo) {
+      table.add_separator();
+      last_algo = cell.algo;
+    }
+    table.add_row({cell.display, std::to_string(cell.log2_n),
+                   std::to_string(cell.trials),
+                   stats::fmt(cell.upper_bound, 3),
+                   stats::fmt(cell.ratio.mean(), 4),
+                   stats::fmt(cell.tail.quantile(0.50), 4),
+                   stats::fmt(cell.tail.quantile(0.90), 4),
+                   stats::fmt(cell.tail.quantile(0.99), 4),
+                   stats::fmt(cell.tail.quantile(0.999), 4),
+                   stats::fmt(cell.ratio.max(), 4)});
+  }
+  table.print(std::cout);
+
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    experiments::write_tail_csv(result, csv_path);
+    std::cout << "\n(csv written to " << csv_path << ")\n";
+  }
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    write_json(result, out_path);
+    std::cout << "(json written to " << out_path << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Structure-of-arrays scratch for the batched trial kernels.
+//
+// A BatchWorkspace holds B independent trials' ("lanes'") in-flight state in
+// lane-major contiguous buffers: lane l's slots live at [l*stride, l*stride+n),
+// its heap entries at [l*heap_stride, ...), and so on.  The batched drivers in
+// core/batch/batch_kernels.hpp advance every lane in lockstep, gathering the
+// per-lane tops into the staging arrays, running the bisection arithmetic as
+// one dense loop over lanes (the loop the compiler can vectorize), and
+// scattering the children back.
+//
+// Like TrialWorkspace, all storage is sized once (prepare()) and recycled
+// across batches: once warm, a batch run performs exactly zero heap
+// allocations (pinned by tests/perf/alloc_gate_test.cpp).  Kernels take the
+// workspace as a parameter named `ws`, which also keeps them inside
+// lbb-lint's hot-allocation receiver whitelist.
+//
+// This layer deliberately stores only what the experiment engine consumes --
+// (node hash, weight, processor count) per live subproblem plus per-lane
+// max-leaf-weight and bisection counters -- not Piece/BisectionTree objects.
+// Callers that need pieces or a recorded tree use the scalar kernels; the
+// experiment engine only needs the ratio, which is why the batch path can be
+// this lean while staying byte-identical (core/batch/batch_kernels.hpp
+// documents the identity argument).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/detail/scratch.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace lbb::core::batch {
+
+using detail::HfHeapEntry;
+
+/// Pushes `e` onto the 4-ary max-heap stored at `h[0..size)`, growing `size`.
+/// Exactly HfHeap::push's hole-sift on a raw buffer: same comparator
+/// (weight desc, seq asc -- a total order), same parent walk, so a lane heap
+/// pops in precisely the order the scalar HfHeap would
+/// (tests/property/hf_heap_test.cpp byte-compares the two on dense ties).
+LBB_HOT inline void lane_heap_push(HfHeapEntry* h, std::int32_t& size,
+                                   HfHeapEntry e) noexcept {
+  std::int32_t hole = size++;
+  while (hole > 0) {
+    const std::int32_t parent = (hole - 1) / 4;
+    const HfHeapEntry& p = h[parent];
+    const bool e_higher = e.weight != p.weight ? e.weight > p.weight
+                                               : e.seq < p.seq;
+    if (!e_higher) break;
+    h[hole] = p;
+    hole = parent;
+  }
+  h[hole] = e;
+}
+
+/// Pops the top of the 4-ary max-heap at `h[0..size)`.  Mirrors HfHeap::pop.
+LBB_HOT inline HfHeapEntry lane_heap_pop(HfHeapEntry* h,
+                                         std::int32_t& size) noexcept {
+  const HfHeapEntry result = h[0];
+  const HfHeapEntry last = h[--size];
+  if (size > 0) {
+    const std::int32_t count = size;
+    std::int32_t hole = 0;
+    for (;;) {
+      const std::int32_t first_child = 4 * hole + 1;
+      if (first_child >= count) break;
+      const std::int32_t end_child =
+          first_child + 4 < count ? first_child + 4 : count;
+      std::int32_t best = first_child;
+      for (std::int32_t c = first_child + 1; c < end_child; ++c) {
+        const bool c_higher = h[c].weight != h[best].weight
+                                  ? h[c].weight > h[best].weight
+                                  : h[c].seq < h[best].seq;
+        if (c_higher) best = c;
+      }
+      const bool best_higher = h[best].weight != last.weight
+                                   ? h[best].weight > last.weight
+                                   : h[best].seq < last.seq;
+      if (!best_higher) break;
+      h[hole] = h[best];
+      hole = best;
+    }
+    h[hole] = last;
+  }
+  return result;
+}
+
+/// SoA scratch for up to `width` lanes partitioning into up to `n` pieces.
+/// All vectors are plain flat buffers indexed by the kernels; none are
+/// resized on the hot path.
+class BatchWorkspace {
+ public:
+  /// Maximum lanes a single prepare() accepts; batches wider than the
+  /// engine's 32-trial chunk never occur.
+  static constexpr std::int32_t kMaxWidth = 32;
+
+  /// Ensures capacity for `width` lanes of `n` pieces each.  Growth-only
+  /// (capacity is retained across calls), so alternating cell sizes do not
+  /// thrash; O(1) no-op once warm.
+  void prepare(std::int32_t width, std::int32_t n) {
+    if (width < 1 || width > kMaxWidth) {
+      throw std::invalid_argument(
+          "BatchWorkspace::prepare: width must be in [1, 32]");
+    }
+    if (n < 1) {
+      throw std::invalid_argument("BatchWorkspace::prepare: n must be >= 1");
+    }
+    if (width <= width_ && n <= stride_) return;
+    width_ = width > width_ ? width : width_;
+    stride_ = n > stride_ ? n : stride_;
+    const auto lanes = static_cast<std::size_t>(width_);
+    const auto slots = lanes * static_cast<std::size_t>(stride_);
+    // Slot arrays (HF): one (hash, weight) pair per live subproblem.
+    slot_hash.resize(slots);
+    slot_weight.resize(slots);
+    // Per-lane 4-ary selection heaps, lane-major with stride_ entries each.
+    heap.resize(slots);
+    heap_size.resize(lanes);
+    // Per-lane BA/BA-HF frame stacks.  Depth can reach n on a degenerate
+    // heavy chain (every split peels one processor), hence the full stride.
+    frame_hash.resize(slots);
+    frame_weight.resize(slots);
+    frame_n.resize(slots);
+    frame_top.resize(lanes);
+    // Lockstep staging: gathered parents and their computed children.  The
+    // dense loops over these arrays are the vectorization target.
+    stage_lane.resize(lanes);
+    stage_slot.resize(lanes);
+    stage_n.resize(lanes);
+    stage_hash.resize(lanes);
+    stage_weight.resize(lanes);
+    heavy_hash.resize(lanes);
+    heavy_weight.resize(lanes);
+    light_hash.resize(lanes);
+    light_weight.resize(lanes);
+    // Per-lane inputs and outcomes.
+    root_hash.resize(lanes);
+    root_weight.resize(lanes);
+    lane_max.resize(lanes);
+    lane_bisections.resize(lanes);
+    next_seq.resize(lanes);
+    slots_used.resize(lanes);
+  }
+
+  [[nodiscard]] std::int32_t width() const noexcept { return width_; }
+  /// Per-lane element stride of the slot/heap/frame buffers.
+  [[nodiscard]] std::int32_t stride() const noexcept { return stride_; }
+
+  // --- SoA buffers (public by design: kernels index them directly, the
+  // --- same scratch idiom as TrialWorkspace's hf_slots/heap/frames). ---
+  std::vector<std::uint64_t> slot_hash;
+  std::vector<double> slot_weight;
+  std::vector<HfHeapEntry> heap;
+  std::vector<std::int32_t> heap_size;
+  std::vector<std::uint64_t> frame_hash;
+  std::vector<double> frame_weight;
+  std::vector<std::int32_t> frame_n;
+  std::vector<std::int32_t> frame_top;
+  std::vector<std::int32_t> stage_lane;
+  std::vector<std::int32_t> stage_slot;
+  std::vector<std::int32_t> stage_n;
+  std::vector<std::uint64_t> stage_hash;
+  std::vector<double> stage_weight;
+  std::vector<std::uint64_t> heavy_hash;
+  std::vector<double> heavy_weight;
+  std::vector<std::uint64_t> light_hash;
+  std::vector<double> light_weight;
+  std::vector<std::uint64_t> root_hash;
+  std::vector<double> root_weight;
+  std::vector<double> lane_max;
+  std::vector<std::int64_t> lane_bisections;
+  std::vector<std::int64_t> next_seq;
+  std::vector<std::int32_t> slots_used;
+
+ private:
+  std::int32_t width_ = 0;
+  std::int32_t stride_ = 0;
+};
+
+}  // namespace lbb::core::batch

@@ -72,11 +72,18 @@ LBB_HOT void hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
 
   slots.push_back(HfSlot<P>{std::move(problem), depth0, node0});
   slot_weight.push_back(w0);
-  heap.push(HfHeapEntry{w0, next_seq++, 0});
 
-  while (heap.size() < static_cast<std::size_t>(n)) {
-    const HfHeapEntry top = heap.pop();
-    HfSlot<P>& s = slots[static_cast<std::size_t>(top.slot)];
+  // The next problem to bisect is kept "in hand" instead of round-tripping
+  // through the heap.  Because the priority (weight, seq) is a total order,
+  // any heap arrangement of the same entries pops in the same sequence, so
+  // holding the strict maximum outside the heap changes no pop -- it only
+  // skips a full sift-up + sift-down pair whenever the heavier child of the
+  // current problem immediately outweighs every queued entry (the common
+  // case while descending a heavy chain).  Ties must go through the heap:
+  // an equal-weight queued entry has a smaller seq and wins.
+  HfHeapEntry hand{w0, next_seq++, 0};
+  for (std::int32_t live = 1; live < n; ++live) {
+    HfSlot<P>& s = slots[static_cast<std::size_t>(hand.slot)];
     auto [left, right] = s.problem.bisect();
     double wl = left.weight();
     double wr = right.weight();
@@ -89,12 +96,18 @@ LBB_HOT void hf_run(BuildContext<P>& ctx, TrialWorkspace<P>& ws, P problem,
     const std::int32_t depth = s.depth + 1;
     // Reuse the parent's slot for the left child.
     s = HfSlot<P>{std::move(left), depth, node_l};
-    slot_weight[static_cast<std::size_t>(top.slot)] = wl;
-    heap.push(HfHeapEntry{wl, next_seq++, top.slot});
+    slot_weight[static_cast<std::size_t>(hand.slot)] = wl;
+    const HfHeapEntry left_entry{wl, next_seq++, hand.slot};
     const auto right_slot = static_cast<std::int32_t>(slots.size());
     slots.push_back(HfSlot<P>{std::move(right), depth, node_r});
     slot_weight.push_back(wr);
     heap.push(HfHeapEntry{wr, next_seq++, right_slot});
+    if (live + 1 < n && wl > heap.top().weight) {
+      hand = left_entry;  // strict max: would be popped right back
+    } else {
+      heap.push(left_entry);
+      if (live + 1 < n) hand = heap.pop();
+    }
   }
 
   // Emit in slot (creation) order for determinism.

@@ -11,9 +11,9 @@
 #include "core/lbb.hpp"
 #include "core/partitioner.hpp"
 #include "core/workspace.hpp"
+#include "experiments/batch_trials.hpp"
+#include "experiments/trial_engine.hpp"
 #include "problems/synthetic.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/thread_pool.hpp"
 #include "stats/alloc_stats.hpp"
 #include "stats/csv.hpp"
 #include "stats/rng.hpp"
@@ -91,6 +91,14 @@ lbb::core::TrialWorkspace<SyntheticProblem>& thread_workspace() {
   return ws;
 }
 
+/// The calling thread's batched-trial runner (SoA workspace).  Like
+/// thread_workspace(), capacity is retained across chunks and cells, so
+/// steady-state batched chunks allocate nothing.
+BatchTrialRunner& thread_batch_runner() {
+  thread_local BatchTrialRunner runner;
+  return runner;
+}
+
 /// One trial through the registry's typed escape hatch (the builtin
 /// families monomorphize on SyntheticProblem exactly like the former
 /// per-algorithm switch); custom partitioners go through the erased
@@ -113,19 +121,6 @@ TrialOutcome run_trial(const Partitioner& part, RunContext& ctx,
   const auto erased =
       part.run(ctx, lbb::core::AnyProblem(SyntheticProblem(seed, dist)), n);
   return {erased.ratio(), erased.bisections};
-}
-
-/// Throws core::OperationCancelled when the token fired or the (optional)
-/// absolute deadline passed.  Called between trials.
-void ensure_alive(
-    const lbb::core::CancelToken* cancel,
-    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
-  if (cancel != nullptr && cancel->cancelled()) {
-    throw lbb::core::OperationCancelled("ratio experiment cancelled");
-  }
-  if (deadline && std::chrono::steady_clock::now() >= *deadline) {
-    throw lbb::core::OperationCancelled("ratio experiment deadline exceeded");
-  }
 }
 
 }  // namespace
@@ -192,6 +187,9 @@ RatioExperimentResult run_ratio_experiment(
       throw std::invalid_argument("run_ratio_experiment: bad log2_n");
     }
   }
+  if (config.batch < 0) {
+    throw std::invalid_argument("run_ratio_experiment: batch must be >= 0");
+  }
   RatioExperimentResult result;
   result.config = config;
   const double alpha = config.dist.lower_bound();
@@ -207,19 +205,21 @@ RatioExperimentResult run_ratio_experiment(
         name, PartitionerConfig{alpha, config.beta, 0, {}}));
   }
 
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (config.time_limit_seconds > 0.0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(config.time_limit_seconds));
-  }
-
-  const unsigned threads = detail::resolve_threads(config.threads);
-  std::optional<lbb::runtime::ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  detail::TrialEngine engine(config.threads, config.time_limit_seconds);
 
   for (std::size_t a = 0; a < config.algos.size(); ++a) {
     const Partitioner& part = *partitioners[a];
+    // Builtin piece-free families run through the SoA batch kernels when a
+    // lane width > 1 is configured; everything else keeps the scalar path.
+    // Either way the outcomes are bitwise equal (see batch_trials.hpp).
+    const lbb::core::BuiltinAlgo builtin = part.builtin();
+    const bool batched =
+        config.batch > 1 && BatchTrialRunner::supports(builtin);
+    const std::int32_t batch_width =
+        batched ? std::min<std::int32_t>(config.batch,
+                                         lbb::core::batch::BatchWorkspace::
+                                             kMaxWidth)
+                : 1;
     for (const std::int32_t k : config.log2_n) {
       const std::int32_t n = 1 << k;
       std::int32_t trials = config.trials;
@@ -239,8 +239,7 @@ RatioExperimentResult run_ratio_experiment(
       // Fan the trials out in fixed chunks of kTrialChunk.  Chunking and
       // the merge order below depend only on `trials`, so the cell is
       // bit-identical for every thread count.
-      const std::int64_t chunks =
-          (static_cast<std::int64_t>(trials) + kTrialChunk - 1) / kTrialChunk;
+      const std::int64_t chunks = detail::TrialEngine::chunk_count(trials);
       std::vector<lbb::stats::RunningStats> chunk_ratio(
           static_cast<std::size_t>(chunks));
       std::vector<std::int64_t> chunk_bisections(
@@ -251,22 +250,38 @@ RatioExperimentResult run_ratio_experiment(
                                  std::int64_t hi) {
         lbb::stats::RunningStats local;
         std::int64_t bisections = 0;
-        lbb::core::TrialWorkspace<SyntheticProblem>& ws = thread_workspace();
         // Thread-local counters: the delta covers exactly this chunk's
         // trials (all zero unless the allocation probe is linked).
         const lbb::stats::AllocStats allocs_before = lbb::stats::alloc_stats();
-        for (std::int64_t t = lo; t < hi; ++t) {
-          ensure_alive(config.cancel, deadline);
-          // Instance seed depends on the trial only: all algorithms and all
-          // N share instances where possible (paired comparison).
-          const std::uint64_t instance_seed =
-              lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
-          RunContext ctx(instance_seed);
-          ctx.set_cancel_token(config.cancel);
-          const TrialOutcome outcome =
-              run_trial(part, ctx, ws, instance_seed, config.dist, n);
-          local.add(outcome.ratio);
-          bisections += outcome.bisections;
+        if (batched) {
+          BatchTrialOutcome outcomes[kTrialChunk];
+          for (std::int64_t t = lo; t < hi; t += batch_width) {
+            engine.ensure_alive(config.cancel, "ratio experiment cancelled");
+            thread_batch_runner().run(
+                builtin, config.dist, config.seed, t,
+                std::min<std::int64_t>(t + batch_width, hi), n, batch_width,
+                outcomes + (t - lo));
+          }
+          // Accumulate in trial order: identical to the scalar loop below.
+          for (std::int64_t t = lo; t < hi; ++t) {
+            local.add(outcomes[t - lo].ratio);
+            bisections += outcomes[t - lo].bisections;
+          }
+        } else {
+          lbb::core::TrialWorkspace<SyntheticProblem>& ws = thread_workspace();
+          for (std::int64_t t = lo; t < hi; ++t) {
+            engine.ensure_alive(config.cancel, "ratio experiment cancelled");
+            // Instance seed depends on the trial only: all algorithms and
+            // all N share instances where possible (paired comparison).
+            const std::uint64_t instance_seed =
+                lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+            RunContext ctx(instance_seed);
+            ctx.set_cancel_token(config.cancel);
+            const TrialOutcome outcome =
+                run_trial(part, ctx, ws, instance_seed, config.dist, n);
+            local.add(outcome.ratio);
+            bisections += outcome.bisections;
+          }
         }
         chunk_ratio[static_cast<std::size_t>(chunk)] = local;
         chunk_bisections[static_cast<std::size_t>(chunk)] = bisections;
@@ -275,16 +290,7 @@ RatioExperimentResult run_ratio_experiment(
       };
 
       const auto started = std::chrono::steady_clock::now();
-      if (pool) {
-        lbb::runtime::parallel_for_chunks(*pool, 0, trials, kTrialChunk,
-                                          run_chunk);
-      } else {
-        std::int64_t chunk = 0;
-        for (std::int64_t lo = 0; lo < trials; lo += kTrialChunk, ++chunk) {
-          run_chunk(chunk, lo,
-                    std::min<std::int64_t>(lo + kTrialChunk, trials));
-        }
-      }
+      engine.run_chunks(trials, run_chunk);
       // Fixed-order reduction (ascending chunk index).
       for (std::int64_t c = 0; c < chunks; ++c) {
         cell.ratio.merge(chunk_ratio[static_cast<std::size_t>(c)]);

@@ -93,6 +93,13 @@ struct RatioExperimentConfig {
   /// 0 = one per hardware thread, k = exactly k.  Results are identical
   /// for every value -- see the determinism note at the top of this file.
   std::int32_t threads = 1;
+  /// Lane width of the batched (structure-of-arrays) trial kernels:
+  /// <= 1 runs the scalar path, b > 1 advances b trials in lockstep for the
+  /// builtin HF/BA/BA'/BA-HF families (custom partitioners always fall back
+  /// to the scalar path).  Results are BYTE-IDENTICAL for every width --
+  /// lane seeds are the scalar per-trial seeds and per-chunk statistics
+  /// accumulate in trial order (asserted by the batch determinism gate).
+  std::int32_t batch = 8;
   /// Optional cooperative cancellation (not owned; may be nullptr).
   const lbb::core::CancelToken* cancel = nullptr;
   /// Optional wall-clock limit in seconds (<= 0: none).  On expiry the

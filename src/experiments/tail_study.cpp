@@ -1,0 +1,224 @@
+#include "experiments/tail_study.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/lbb.hpp"
+#include "core/partitioner.hpp"
+#include "core/sync.hpp"
+#include "core/workspace.hpp"
+#include "experiments/batch_trials.hpp"
+#include "experiments/ratio_experiment.hpp"
+#include "experiments/trial_engine.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/alloc_stats.hpp"
+#include "stats/csv.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::experiments {
+
+using lbb::core::Partitioner;
+using lbb::core::PartitionerConfig;
+using lbb::core::PartitionerRegistry;
+using lbb::core::RunContext;
+using lbb::problems::SyntheticProblem;
+
+namespace {
+
+/// Worker-thread tail scratch: one preallocated accumulator per thread,
+/// reset at the start of every chunk and merged into the cell's shared
+/// accumulator when the chunk finishes.  Per-CHUNK accumulators would cost
+/// chunks * bins memory (prohibitive at 10^6 trials); merging integer bins
+/// in completion order is exact, so this is free of determinism cost.
+lbb::stats::TailAccumulator& thread_tail_scratch(double lo, double hi,
+                                                 std::int32_t bins) {
+  thread_local lbb::stats::TailAccumulator acc;
+  if (acc.bins() != bins || acc.lo() != lo || acc.hi() != hi) {
+    acc = lbb::stats::TailAccumulator(lo, hi, bins);
+  }
+  return acc;
+}
+
+lbb::core::TrialWorkspace<SyntheticProblem>& thread_workspace() {
+  thread_local lbb::core::TrialWorkspace<SyntheticProblem> ws;
+  return ws;
+}
+
+BatchTrialRunner& thread_batch_runner() {
+  thread_local BatchTrialRunner runner;
+  return runner;
+}
+
+}  // namespace
+
+TailStudyResult run_tail_study(const TailStudyConfig& config) {
+  if (config.trials < 1) {
+    throw std::invalid_argument("run_tail_study: trials must be >= 1");
+  }
+  for (const std::int32_t k : config.log2_n) {
+    if (k < 0 || k > 30) {
+      throw std::invalid_argument("run_tail_study: bad log2_n");
+    }
+  }
+  if (config.batch < 0) {
+    throw std::invalid_argument("run_tail_study: batch must be >= 0");
+  }
+  if (!(config.hist_max > 1.0)) {
+    throw std::invalid_argument("run_tail_study: hist_max must be > 1");
+  }
+  if (config.hist_bins < 1) {
+    throw std::invalid_argument("run_tail_study: hist_bins must be >= 1");
+  }
+
+  TailStudyResult result;
+  result.config = config;
+  const double alpha = config.dist.lower_bound();
+
+  const auto& registry = PartitionerRegistry::instance();
+  std::vector<std::unique_ptr<Partitioner>> partitioners;
+  partitioners.reserve(config.algos.size());
+  for (const std::string& name : config.algos) {
+    partitioners.push_back(
+        registry.create(name, PartitionerConfig{alpha, config.beta, 0, {}}));
+  }
+
+  detail::TrialEngine engine(config.threads, config.time_limit_seconds);
+
+  for (std::size_t a = 0; a < config.algos.size(); ++a) {
+    const Partitioner& part = *partitioners[a];
+    const lbb::core::BuiltinAlgo builtin = part.builtin();
+    const bool batched =
+        config.batch > 1 && BatchTrialRunner::supports(builtin);
+    const std::int32_t batch_width =
+        batched
+            ? std::min<std::int32_t>(
+                  config.batch, lbb::core::batch::BatchWorkspace::kMaxWidth)
+            : 1;
+    for (const std::int32_t k : config.log2_n) {
+      const std::int32_t n = 1 << k;
+      std::int64_t trials = config.trials;
+      if (config.bisection_budget > 0) {
+        trials = std::min<std::int64_t>(
+            trials,
+            std::max<std::int64_t>(
+                config.bisection_budget / std::max<std::int64_t>(n, 1),
+                config.min_trials));
+      }
+      TailStudyCell cell;
+      cell.algo = config.algos[a];
+      cell.display = part.info().display;
+      cell.log2_n = k;
+      cell.trials = trials;
+      cell.upper_bound = part.ratio_bound(n);
+      cell.tail =
+          lbb::stats::TailAccumulator(1.0, config.hist_max, config.hist_bins);
+
+      const std::int64_t chunks = detail::TrialEngine::chunk_count(trials);
+      std::vector<lbb::stats::RunningStats> chunk_ratio(
+          static_cast<std::size_t>(chunks));
+      std::vector<std::int64_t> chunk_bisections(
+          static_cast<std::size_t>(chunks), 0);
+      std::vector<lbb::stats::AllocStats> chunk_allocs(
+          static_cast<std::size_t>(chunks));
+      lbb::core::Mutex tail_mu;
+      const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
+                                 std::int64_t hi) {
+        lbb::stats::RunningStats local;
+        std::int64_t bisections = 0;
+        lbb::stats::TailAccumulator& tail_scratch = thread_tail_scratch(
+            1.0, config.hist_max, config.hist_bins);
+        tail_scratch.reset();
+        const lbb::stats::AllocStats allocs_before = lbb::stats::alloc_stats();
+        if (batched) {
+          BatchTrialOutcome outcomes[kTrialChunk];
+          for (std::int64_t t = lo; t < hi; t += batch_width) {
+            engine.ensure_alive(config.cancel, "tail study cancelled");
+            thread_batch_runner().run(
+                builtin, config.dist, config.seed, t,
+                std::min<std::int64_t>(t + batch_width, hi), n, batch_width,
+                outcomes + (t - lo));
+          }
+          for (std::int64_t t = lo; t < hi; ++t) {
+            local.add(outcomes[t - lo].ratio);
+            tail_scratch.add(outcomes[t - lo].ratio);
+            bisections += outcomes[t - lo].bisections;
+          }
+        } else {
+          lbb::core::TrialWorkspace<SyntheticProblem>& ws = thread_workspace();
+          for (std::int64_t t = lo; t < hi; ++t) {
+            engine.ensure_alive(config.cancel, "tail study cancelled");
+            const std::uint64_t instance_seed =
+                lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
+            RunContext ctx(instance_seed);
+            ctx.set_cancel_token(config.cancel);
+            SyntheticProblem root(instance_seed, config.dist);
+            double ratio = 0.0;
+            std::int64_t trial_bisections = 0;
+            if (auto typed = lbb::core::try_typed_partition(
+                    part, ctx, ws, std::move(root), n)) {
+              ratio = typed->ratio();
+              trial_bisections = typed->bisections;
+              ws.recycle(std::move(*typed));
+              ws.reset();
+            } else {
+              const auto erased = part.run(
+                  ctx,
+                  lbb::core::AnyProblem(
+                      SyntheticProblem(instance_seed, config.dist)),
+                  n);
+              ratio = erased.ratio();
+              trial_bisections = erased.bisections;
+            }
+            local.add(ratio);
+            tail_scratch.add(ratio);
+            bisections += trial_bisections;
+          }
+        }
+        chunk_ratio[static_cast<std::size_t>(chunk)] = local;
+        chunk_bisections[static_cast<std::size_t>(chunk)] = bisections;
+        chunk_allocs[static_cast<std::size_t>(chunk)] =
+            lbb::stats::alloc_stats() - allocs_before;
+        // Integer bin merge: exact in any completion order.
+        lbb::core::MutexLock lock(tail_mu);
+        cell.tail.merge(tail_scratch);
+      };
+
+      const auto started = std::chrono::steady_clock::now();
+      engine.run_chunks(trials, run_chunk);
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        cell.ratio.merge(chunk_ratio[static_cast<std::size_t>(c)]);
+        cell.bisections += chunk_bisections[static_cast<std::size_t>(c)];
+        cell.alloc_count += chunk_allocs[static_cast<std::size_t>(c)].count;
+        cell.alloc_bytes += chunk_allocs[static_cast<std::size_t>(c)].bytes;
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      cell.wall_seconds = elapsed.count();
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+void write_tail_csv(const TailStudyResult& result, const std::string& path) {
+  lbb::stats::CsvWriter csv;
+  csv.set_header({"algo", "log2_n", "trials", "upper_bound", "mean", "p50",
+                  "p90", "p99", "p999", "max"});
+  for (const TailStudyCell& cell : result.cells) {
+    csv.add_row({cell.display, std::to_string(cell.log2_n),
+                 std::to_string(cell.trials), std::to_string(cell.upper_bound),
+                 std::to_string(cell.ratio.mean()),
+                 std::to_string(cell.tail.quantile(0.50)),
+                 std::to_string(cell.tail.quantile(0.90)),
+                 std::to_string(cell.tail.quantile(0.99)),
+                 std::to_string(cell.tail.quantile(0.999)),
+                 std::to_string(cell.tail.max())});
+  }
+  csv.write_file(path);
+}
+
+}  // namespace lbb::experiments

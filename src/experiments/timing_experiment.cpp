@@ -9,9 +9,8 @@
 
 #include "core/partitioner.hpp"
 #include "experiments/ratio_experiment.hpp"
+#include "experiments/trial_engine.hpp"
 #include "problems/synthetic.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/thread_pool.hpp"
 #include "sim/partitioners.hpp"
 #include "stats/rng.hpp"
 
@@ -99,18 +98,6 @@ struct ChunkStats {
   lbb::stats::RunningStats allocs;
 };
 
-void ensure_alive(
-    const lbb::core::CancelToken* cancel,
-    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
-  if (cancel != nullptr && cancel->cancelled()) {
-    throw lbb::core::OperationCancelled("timing experiment cancelled");
-  }
-  if (deadline && std::chrono::steady_clock::now() >= *deadline) {
-    throw lbb::core::OperationCancelled(
-        "timing experiment deadline exceeded");
-  }
-}
-
 }  // namespace
 
 const TimingCell& TimingExperimentResult::cell(ParAlgo algo,
@@ -165,16 +152,7 @@ TimingExperimentResult run_timing_experiment(
         config.cost));
   }
 
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (config.time_limit_seconds > 0.0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(config.time_limit_seconds));
-  }
-
-  const unsigned threads = detail::resolve_threads(config.threads);
-  std::optional<lbb::runtime::ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  detail::TrialEngine engine(config.threads, config.time_limit_seconds);
 
   for (std::size_t a = 0; a < config.algos.size(); ++a) {
     const ParAlgo algo = config.algos[a];
@@ -186,14 +164,14 @@ TimingExperimentResult run_timing_experiment(
       cell.log2_n = k;
 
       const std::int64_t trials = config.trials;
-      const std::int64_t chunks = (trials + kTrialChunk - 1) / kTrialChunk;
+      const std::int64_t chunks = detail::TrialEngine::chunk_count(trials);
       std::vector<ChunkStats> chunk_stats(
           static_cast<std::size_t>(std::max<std::int64_t>(chunks, 0)));
       const auto run_chunk = [&](std::int64_t chunk, std::int64_t lo,
                                  std::int64_t hi) {
         ChunkStats local;
         for (std::int64_t t = lo; t < hi; ++t) {
-          ensure_alive(config.cancel, deadline);
+          engine.ensure_alive(config.cancel, "timing experiment cancelled");
           const std::uint64_t instance_seed =
               lbb::stats::mix64(config.seed, static_cast<std::uint64_t>(t));
           TimingSink sink;
@@ -218,16 +196,7 @@ TimingExperimentResult run_timing_experiment(
         chunk_stats[static_cast<std::size_t>(chunk)] = local;
       };
 
-      if (pool) {
-        lbb::runtime::parallel_for_chunks(*pool, 0, trials, kTrialChunk,
-                                          run_chunk);
-      } else {
-        std::int64_t chunk = 0;
-        for (std::int64_t lo = 0; lo < trials; lo += kTrialChunk, ++chunk) {
-          run_chunk(chunk, lo,
-                    std::min<std::int64_t>(lo + kTrialChunk, trials));
-        }
-      }
+      engine.run_chunks(trials, run_chunk);
       // Fixed-order reduction (ascending chunk index): bit-stable for
       // every thread count.
       for (const ChunkStats& local : chunk_stats) {

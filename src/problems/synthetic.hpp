@@ -28,11 +28,23 @@ namespace lbb::problems {
 /// copy distribution state into each child.
 class SyntheticProblem {
  public:
+  /// Salt folded into the instance seed before hashing so the root draw is
+  /// decorrelated from other uses of the same seed value.  Shared with the
+  /// batched lane model (problems/synthetic_lanes.hpp), which must derive
+  /// bit-identical root hashes.
+  static constexpr std::uint64_t kRootSalt = 0x5bf03635d1d4f7a1ULL;
+
+  /// Node hash of the root of the instance seeded by `seed`.
+  [[nodiscard]] static constexpr std::uint64_t root_node_hash(
+      std::uint64_t seed) noexcept {
+    return lbb::stats::splitmix64(seed ^ kRootSalt);
+  }
+
   /// Root problem of a fresh instance.
   SyntheticProblem(std::uint64_t seed, const AlphaDistribution& dist,
                    double weight = 1.0)
       : dist_(dist.interned()),
-        node_hash_(lbb::stats::splitmix64(seed ^ 0x5bf03635d1d4f7a1ULL)),
+        node_hash_(root_node_hash(seed)),
         weight_(weight) {}
 
   [[nodiscard]] double weight() const noexcept { return weight_; }

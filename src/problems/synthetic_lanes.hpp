@@ -1,0 +1,112 @@
+// SyntheticProblem expressed as a batch LaneModel (core/batch).
+//
+// The synthetic stochastic model's draws are path-hashed -- a node's
+// alpha-hat is a pure function of its node hash, not of a consumed RNG
+// stream -- so the whole problem class collapses to two pure functions over
+// (node_hash, weight) pairs.  SyntheticLaneModel provides them in the shape
+// the batched kernels need: a scalar bisect for the per-lane tails and a
+// dense bisect_lanes whose distribution-kind switch is hoisted OUT of the
+// lane loop, leaving straight-line hash/multiply arithmetic the compiler
+// can vectorize.
+//
+// Bit-exactness contract: every expression below is copied verbatim from
+// SyntheticProblem::bisect / AlphaDistribution::sample (single-rounding
+// per operation, no reassociation), so for any node the produced child
+// hashes and weights are bitwise equal to the scalar problem's.  The
+// synthetic_lanes_test pins this against SyntheticProblem across all
+// distribution kinds; the scalar-vs-batched experiment golden gate pins it
+// end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "core/thread_annotations.hpp"
+#include "problems/alpha_dist.hpp"
+#include "problems/synthetic.hpp"
+#include "stats/rng.hpp"
+
+namespace lbb::problems {
+
+class SyntheticLaneModel {
+ public:
+  explicit SyntheticLaneModel(const AlphaDistribution& dist)
+      : dist_(dist.interned()) {}
+
+  /// Root node hash of the instance seeded by `seed` (identical to
+  /// SyntheticProblem's root).
+  [[nodiscard]] static constexpr std::uint64_t root_hash(
+      std::uint64_t seed) noexcept {
+    return SyntheticProblem::root_node_hash(seed);
+  }
+
+  /// Children of one node; heavy first, bit-identical to
+  /// SyntheticProblem::bisect on the same (hash, weight).
+  LBB_HOT void bisect(std::uint64_t hash, double w, std::uint64_t& heavy_hash,
+                      double& heavy_w, std::uint64_t& light_hash,
+                      double& light_w) const noexcept {
+    const double u = lbb::stats::hash_to_unit(lbb::stats::splitmix64(hash));
+    const double alpha_hat = dist_->sample(u);
+    heavy_hash = lbb::stats::mix64(hash, 1);
+    light_hash = lbb::stats::mix64(hash, 2);
+    heavy_w = (1.0 - alpha_hat) * w;
+    light_w = alpha_hat * w;
+  }
+
+  /// Dense form over `count` nodes.  The kind switch runs once; each case
+  /// is a branch-free contiguous loop (the batched drivers' vectorization
+  /// target).  Arithmetic per element is identical to bisect() above.
+  LBB_HOT void bisect_lanes(std::int32_t count, const std::uint64_t* hash,
+                            const double* w, std::uint64_t* heavy_hash,
+                            double* heavy_w, std::uint64_t* light_hash,
+                            double* light_w) const noexcept {
+    const double lo = dist_->lower_bound();
+    const double hi = dist_->upper_bound();
+    switch (dist_->kind()) {
+      case AlphaDistribution::Kind::kUniform:
+        for (std::int32_t i = 0; i < count; ++i) {
+          const double u =
+              lbb::stats::hash_to_unit(lbb::stats::splitmix64(hash[i]));
+          const double alpha_hat = lo + (hi - lo) * u;
+          heavy_hash[i] = lbb::stats::mix64(hash[i], 1);
+          light_hash[i] = lbb::stats::mix64(hash[i], 2);
+          heavy_w[i] = (1.0 - alpha_hat) * w[i];
+          light_w[i] = alpha_hat * w[i];
+        }
+        return;
+      case AlphaDistribution::Kind::kPoint:
+        for (std::int32_t i = 0; i < count; ++i) {
+          heavy_hash[i] = lbb::stats::mix64(hash[i], 1);
+          light_hash[i] = lbb::stats::mix64(hash[i], 2);
+          heavy_w[i] = (1.0 - lo) * w[i];
+          light_w[i] = lo * w[i];
+        }
+        return;
+      case AlphaDistribution::Kind::kTwoPoint:
+        for (std::int32_t i = 0; i < count; ++i) {
+          const double u =
+              lbb::stats::hash_to_unit(lbb::stats::splitmix64(hash[i]));
+          const double alpha_hat = u < 0.5 ? lo : hi;
+          heavy_hash[i] = lbb::stats::mix64(hash[i], 1);
+          light_hash[i] = lbb::stats::mix64(hash[i], 2);
+          heavy_w[i] = (1.0 - alpha_hat) * w[i];
+          light_w[i] = alpha_hat * w[i];
+        }
+        return;
+    }
+    // Unreachable for valid kinds; fall back to the scalar path so a future
+    // kind cannot silently diverge.
+    for (std::int32_t i = 0; i < count; ++i) {
+      bisect(hash[i], w[i], heavy_hash[i], heavy_w[i], light_hash[i],
+             light_w[i]);
+    }
+  }
+
+  [[nodiscard]] const AlphaDistribution& distribution() const noexcept {
+    return *dist_;
+  }
+
+ private:
+  const AlphaDistribution* dist_;  ///< interned; never dangles
+};
+
+}  // namespace lbb::problems

@@ -94,7 +94,10 @@ PartitionService::PartitionService(ServiceConfig config)
     ring_.resize(static_cast<std::size_t>(config_.queue_capacity), nullptr);
     inflight_.reserve(static_cast<std::size_t>(config_.workers));
     latency_ = stats::PercentileReservoir(config_.latency_window);
-    if (config_.cache_enabled) cache_.reserve(config_.cache_capacity);
+    if (config_.cache_enabled) {
+      cache_.reserve(config_.cache_capacity);
+      clock_.reserve(config_.cache_capacity);
+    }
     epoch_ = Clock::now();
     counters_.workers = config_.workers;
   }
@@ -257,7 +260,11 @@ void PartitionService::dispatch(WorkerState& self, PartitionRequest* req) {
       core::MutexLock lock(mu_);
       if (config_.cache_enabled) {
         auto it = cache_.find(req->key_);
-        if (it != cache_.end()) hit = it->second;
+        if (it != cache_.end()) {
+          hit = it->second.result;
+          // Second chance: a hit entry survives the next sweep pass.
+          clock_[it->second.slot].referenced = true;
+        }
       }
       if (hit == nullptr) {
         // Single-flight: a same-key compute already running absorbs this
@@ -320,11 +327,29 @@ void PartitionService::compute_batch(WorkerState& self,
     }
     // After unregistration nothing new can attach; the head is final.
     head = batch.head;
-    if (share && status == ServiceStatus::kOk && config_.cache_enabled) {
+    if (share && status == ServiceStatus::kOk && config_.cache_enabled &&
+        cache_.find(batch.key) == cache_.end()) {
+      // (The find() guards the unlocked window between dispatch's miss and
+      // this insert: a racing worker may have cached the key meanwhile.)
       if (cache_.size() < config_.cache_capacity) {
-        cache_.emplace(batch.key, result);
-      } else {
-        ++counters_.cache_full_drops;
+        const std::size_t slot = clock_.size();
+        clock_.push_back(ClockSlot{batch.key, false});
+        cache_.emplace(batch.key, CacheEntry{result, slot});
+      } else if (!clock_.empty()) {
+        // Second-chance (clock) eviction: sweep the hand, giving each
+        // referenced entry one more pass, and replace the first cold one.
+        // Terminates within two passes (the first clears every bit).  The
+        // victim's bytes are recoverable by recomputing its canonical key,
+        // so eviction never perturbs served results -- only hit counts.
+        while (clock_[clock_hand_].referenced) {
+          clock_[clock_hand_].referenced = false;
+          clock_hand_ = (clock_hand_ + 1) % clock_.size();
+        }
+        cache_.erase(clock_[clock_hand_].key);
+        ++counters_.cache_evictions;
+        clock_[clock_hand_] = ClockSlot{batch.key, false};
+        cache_.emplace(batch.key, CacheEntry{result, clock_hand_});
+        clock_hand_ = (clock_hand_ + 1) % clock_.size();
       }
     }
     counters_.cache_entries = static_cast<std::int64_t>(cache_.size());
@@ -491,8 +516,8 @@ void PartitionService::report(core::MetricsSink& sink) const {
   sink.on_counter("service.errors", static_cast<double>(s.errors));
   sink.on_counter("service.cache_entries",
                   static_cast<double>(s.cache_entries));
-  sink.on_counter("service.cache_full_drops",
-                  static_cast<double>(s.cache_full_drops));
+  sink.on_counter("service.cache_evictions",
+                  static_cast<double>(s.cache_evictions));
   sink.on_counter("service.alloc_count", static_cast<double>(s.alloc_count));
   sink.on_counter("service.alloc_bytes", static_cast<double>(s.alloc_bytes));
   sink.on_counter("service.latency_samples",

@@ -203,9 +203,12 @@ struct ServiceConfig {
   /// Bounded request-queue capacity; submissions beyond it are rejected
   /// with a typed error (admission control), never queued unboundedly.
   std::int32_t queue_capacity = 1024;
-  /// Memoization cache on/off and entry bound.  At capacity, new entries
-  /// are dropped (counted as cache_full_drops) rather than evicted:
-  /// eviction would make warm-vs-cold behavior schedule-dependent.
+  /// Memoization cache on/off and entry bound.  At capacity, a new entry
+  /// evicts a cold one by second-chance (clock): a hit sets the entry's
+  /// referenced bit, the sweep hand clears bits until it finds an
+  /// unreferenced victim (counted as cache_evictions).  Eviction is safe
+  /// for byte-identity because every compute of a key is canonical -- a
+  /// re-miss after eviction returns the same bytes the evicted entry held.
   bool cache_enabled = true;
   std::size_t cache_capacity = 1 << 16;
   /// Latency-reservoir window (most recent samples contributing to
@@ -231,7 +234,7 @@ struct ServiceStats {
   std::int64_t shutdown_drained = 0;
   std::int64_t errors = 0;
   std::int64_t cache_entries = 0;
-  std::int64_t cache_full_drops = 0;
+  std::int64_t cache_evictions = 0;  ///< second-chance victims replaced
   std::int64_t alloc_count = 0;  ///< worker-side allocations (probe-linked)
   std::int64_t alloc_bytes = 0;
   std::int64_t latency_samples = 0;
@@ -351,10 +354,24 @@ class PartitionService {
   std::size_t queue_size_ LBB_GUARDED_BY(mu_) = 0;
   bool stop_ LBB_GUARDED_BY(mu_) = false;
 
-  std::unordered_map<core::PartitionCacheKey,
-                     std::shared_ptr<const PartitionResult>,
+  /// A memoized answer plus its position in the clock ring (so a hit can
+  /// set the referenced bit without a second lookup).
+  struct CacheEntry {
+    std::shared_ptr<const PartitionResult> result;
+    std::size_t slot = 0;
+  };
+  /// One clock-ring slot; the ring holds exactly the cached keys, in
+  /// insertion order, and clock_hand_ sweeps it for second-chance victims.
+  struct ClockSlot {
+    core::PartitionCacheKey key;
+    bool referenced = false;
+  };
+
+  std::unordered_map<core::PartitionCacheKey, CacheEntry,
                      core::PartitionCacheKeyHash>
       cache_ LBB_GUARDED_BY(mu_);
+  std::vector<ClockSlot> clock_ LBB_GUARDED_BY(mu_);
+  std::size_t clock_hand_ LBB_GUARDED_BY(mu_) = 0;
   std::vector<Batch*> inflight_ LBB_GUARDED_BY(mu_);  ///< <= workers deep
 
   // Counters (under mu_; complete() folds latency in the same critical

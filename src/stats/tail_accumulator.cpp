@@ -1,0 +1,86 @@
+#include "stats/tail_accumulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lbb::stats {
+
+TailAccumulator::TailAccumulator(double lo, double hi, std::int32_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi) || !std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("TailAccumulator: need finite lo < hi");
+  }
+  if (bins < 1) {
+    throw std::invalid_argument("TailAccumulator: need bins >= 1");
+  }
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void TailAccumulator::reset() noexcept {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+  below_ = 0;
+  above_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void TailAccumulator::merge(const TailAccumulator& other) {
+  if (other.total_ == 0) return;
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument(
+        "TailAccumulator::merge: incompatible bin grids");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (total_ == 0 || other.max_ > max_) max_ = other.max_;
+  total_ += other.total_;
+  below_ += other.below_;
+  above_ += other.above_;
+}
+
+std::int64_t TailAccumulator::bin_count(std::int32_t bin) const {
+  if (bin < 0 || bin >= bins()) {
+    throw std::out_of_range("TailAccumulator::bin_count: bad bin");
+  }
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double TailAccumulator::quantile(double q) const {
+  if (!(q >= 0.0) || !(q <= 1.0)) {
+    throw std::invalid_argument("TailAccumulator::quantile: need 0 <= q <= 1");
+  }
+  if (total_ == 0) {
+    throw std::logic_error("TailAccumulator::quantile: empty accumulator");
+  }
+  // Nearest-rank: the smallest bin whose cumulative count reaches
+  // ceil(q * total).  Integer arithmetic throughout, so any merge order
+  // yields the same answer.
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (rank < 1) rank = 1;
+  std::int64_t cum = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      // Conservative upper edge of the rank's bin.  The LAST bin also
+      // holds samples clamped down from >= hi_, whose true upper bound is
+      // the exact max -- reporting hi_ there would underestimate the tail,
+      // the one sin a tail accumulator must not commit.
+      double edge = i + 1 == counts_.size()
+                        ? (max_ > hi_ ? max_ : hi_)
+                        : lo_ + width * static_cast<double>(i + 1);
+      if (edge < min_) edge = min_;
+      if (edge > max_) edge = max_;
+      return edge;
+    }
+  }
+  return max_;
+}
+
+}  // namespace lbb::stats

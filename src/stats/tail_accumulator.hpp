@@ -1,0 +1,93 @@
+// Streaming tail-distribution accumulator for million-trial studies.
+//
+// The ratio experiments report min/mean/max/stddev per cell; the paper's
+// guarantees, however, are worst-case statements, so what a million-trial
+// run should surface is the upper TAIL of the max-ratio distribution
+// (p99/p99.9, not the mean).  TailAccumulator records samples into a fixed
+// grid of preallocated equal-width bins -- O(1) per sample, zero
+// steady-state allocations (hot-loop safe) -- next to exact min/max/count,
+// and answers nearest-rank quantile queries from the cumulative bin counts.
+//
+// Determinism: bin counts are integers, so merge() is exact and
+// order-independent -- unlike floating-point RunningStats merges, partial
+// accumulators can combine in ANY order (e.g. as worker threads finish)
+// and still produce byte-identical quantiles.  The experiment engines
+// exploit this: RunningStats merge in fixed chunk order, tails merge as
+// chunks complete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbb::stats {
+
+/// Equal-width histogram over [lo, hi) with exact extremes and nearest-rank
+/// quantiles.  Samples outside the range clamp into the edge bins (the
+/// exact min/max keep the true extremes; out_of_range() counts them).
+class TailAccumulator {
+ public:
+  TailAccumulator() = default;
+  TailAccumulator(double lo, double hi, std::int32_t bins);
+
+  /// Zeroes all counts and extremes; keeps the bin storage (no alloc).
+  void reset() noexcept;
+
+  /// Records one sample.  O(1), allocation-free.
+  void add(double x) noexcept {
+    std::int32_t idx = 0;
+    if (x >= hi_) {
+      idx = static_cast<std::int32_t>(counts_.size()) - 1;
+      ++above_;
+    } else if (x >= lo_) {
+      idx = static_cast<std::int32_t>((x - lo_) * inv_width_);
+      const auto last = static_cast<std::int32_t>(counts_.size()) - 1;
+      if (idx > last) idx = last;  // guard fp rounding at the top edge
+    } else {
+      ++below_;
+    }
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+    if (x < min_ || total_ == 1) min_ = x;
+    if (x > max_ || total_ == 1) max_ = x;
+  }
+
+  /// Adds another accumulator's counts into this one.  Exact integer adds:
+  /// commutative and associative, so merge order never changes any query.
+  /// Throws std::invalid_argument unless both share (lo, hi, bins).
+  void merge(const TailAccumulator& other);
+
+  [[nodiscard]] std::int64_t count() const noexcept { return total_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::int32_t bins() const noexcept {
+    return static_cast<std::int32_t>(counts_.size());
+  }
+  [[nodiscard]] std::int64_t bin_count(std::int32_t bin) const;
+  /// Samples that fell outside [lo, hi) and were clamped into edge bins.
+  [[nodiscard]] std::int64_t out_of_range() const noexcept {
+    return below_ + above_;
+  }
+
+  /// Nearest-rank quantile, resolved to the upper edge of the rank's bin
+  /// (the last bin's edge being the exact maximum when samples clamped
+  /// down from >= hi) and clamped to the exact [min, max].  Every answer
+  /// is a conservative -- never underestimating -- tail bound at bin
+  /// resolution; quantile(1.0) is the exact maximum.  Requires
+  /// 0 <= q <= 1 and a non-empty accumulator.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double inv_width_ = 0.0;  ///< bins / (hi - lo)
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::int64_t total_ = 0;
+  std::int64_t below_ = 0;
+  std::int64_t above_ = 0;
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace lbb::stats

@@ -85,6 +85,9 @@ TEST(RatioExperiment, RejectsBadConfig) {
   config = small_config();
   config.log2_n = {-1};
   EXPECT_THROW(run_ratio_experiment(config), std::invalid_argument);
+  config = small_config();
+  config.batch = -1;
+  EXPECT_THROW(run_ratio_experiment(config), std::invalid_argument);
 }
 
 TEST(TimingExperiment, ParallelBeatsSequentialAtScale) {

@@ -20,14 +20,17 @@
 #include "core/ba.hpp"
 #include "core/ba_hf.hpp"
 #include "core/hf.hpp"
+#include "core/partitioner.hpp"
 #include "core/problem.hpp"
 #include "core/workspace.hpp"
+#include "experiments/batch_trials.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
 #include "runtime/par_partition.hpp"
 #include "runtime/work_stealing.hpp"
 #include "service/partition_service.hpp"
 #include "stats/alloc_stats.hpp"
+#include "stats/tail_accumulator.hpp"
 
 namespace lbb::core {
 namespace {
@@ -266,6 +269,62 @@ TEST(AllocGate, ServiceWarmCacheHitsAreAllocationFree) {
       << "worker-side cache-hit serving allocated "
       << (svc_after.alloc_bytes - svc_before.alloc_bytes) << " bytes";
   EXPECT_EQ(svc_after.cache_hits - svc_before.cache_hits, kTrials);
+}
+
+TEST(AllocGate, BatchedTrialRunnerSteadyStateIsAllocationFree) {
+  // The batched SoA engine's contract: once prepare() sized the workspace,
+  // a full sub-batch sweep -- gathers, dense bisections, scatters, heap
+  // sifts -- performs EXACTLY ZERO heap allocations, for every batchable
+  // kind.  (Held to the same bar as the scalar kernels above; lbb-lint
+  // covers core/batch/ statically, this covers it dynamically.)
+  const AlphaDistribution dist = AlphaDistribution::uniform(0.1, 0.5);
+  constexpr std::int32_t kWidth = 8;
+  for (const char* algo : {"hf", "ba", "ba_star", "ba_hf"}) {
+    const auto part = PartitionerRegistry::instance().create(
+        algo, PartitionerConfig{0.1, 1.0, 0, {}});
+    const BuiltinAlgo builtin = part->builtin();
+    ASSERT_TRUE(lbb::experiments::BatchTrialRunner::supports(builtin))
+        << algo;
+    lbb::experiments::BatchTrialRunner runner;
+    lbb::experiments::BatchTrialOutcome outcomes[kWidth];
+    for (int warm = 0; warm < 2; ++warm) {
+      runner.run(builtin, dist, /*base_seed=*/1, 0, kWidth, kN, kWidth,
+                 outcomes);
+    }
+    const auto before = lbb::stats::alloc_stats();
+    for (std::int64_t t = 0; t < kTrials; ++t) {
+      runner.run(builtin, dist, /*base_seed=*/1, t * kWidth, (t + 1) * kWidth,
+                 kN, kWidth, outcomes);
+    }
+    const auto delta = lbb::stats::alloc_stats() - before;
+    EXPECT_EQ(delta.count, 0)
+        << algo << " batched kernel allocated " << delta.bytes
+        << " bytes across " << kTrials << " warm batches";
+    for (const auto& outcome : outcomes) {
+      EXPECT_GE(outcome.ratio, 1.0) << algo;
+    }
+  }
+}
+
+TEST(AllocGate, TailAccumulatorSteadyStateIsAllocationFree) {
+  // The tail_study hot loop adds every trial's ratio to a preallocated
+  // accumulator and merges worker scratch per chunk: both must be free of
+  // steady-state allocations.
+  lbb::stats::TailAccumulator cell(1.0, 8.0, 1024);
+  lbb::stats::TailAccumulator scratch(1.0, 8.0, 1024);
+  for (int i = 0; i < 100; ++i) scratch.add(1.0 + 0.05 * i);
+  cell.merge(scratch);
+  const auto before = lbb::stats::alloc_stats();
+  for (int t = 0; t < kTrials; ++t) {
+    scratch.reset();
+    for (int i = 0; i < 1000; ++i) {
+      scratch.add(1.0 + 0.001 * static_cast<double>(i * (t + 1)));
+    }
+    cell.merge(scratch);
+  }
+  const auto delta = lbb::stats::alloc_stats() - before;
+  EXPECT_EQ(delta.count, 0)
+      << "tail accumulation allocated " << delta.bytes << " bytes";
 }
 
 TEST(AllocGate, ArenaSteadyStateIsAllocationFree) {

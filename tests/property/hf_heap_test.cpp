@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/batch/batch_workspace.hpp"
 #include "core/detail/scratch.hpp"
 #include "stats/rng.hpp"
 
@@ -105,6 +106,96 @@ TEST(HfHeapProperty, MatchesPriorityQueuePopHeavy) {
   // Pop-biased stream exercises deep sift-downs on a shrinking heap.
   for (std::uint64_t seed = 200; seed <= 210; ++seed) {
     run_stream(seed, 3000, 0.35, /*weight_levels=*/5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane heaps (core/batch): the raw-buffer push/pop the batched kernels use
+// must pop byte-for-byte what the scalar HfHeap pops, per lane, for the
+// batched HF driver to be bit-identical to hf_run.
+
+/// Drives `lanes` independent (lane heap, HfHeap) pairs with interleaved
+/// per-lane streams and byte-compares every pop on every lane.
+void run_lane_streams(std::uint64_t seed, int lanes, int steps,
+                      double push_bias, int weight_levels) {
+  const int cap = steps + 1;
+  std::vector<HfHeapEntry> storage(static_cast<std::size_t>(lanes) * cap);
+  std::vector<std::int32_t> lane_size(static_cast<std::size_t>(lanes), 0);
+  std::vector<HfHeap> scalar(static_cast<std::size_t>(lanes));
+  std::vector<std::int64_t> seq(static_cast<std::size_t>(lanes), 0);
+  lbb::stats::Xoshiro256 rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    // Lockstep over lanes, like the batched driver: every lane takes one
+    // action per step, chosen from the lane's own view of the stream.
+    for (int l = 0; l < lanes; ++l) {
+      HfHeapEntry* h = storage.data() + static_cast<std::size_t>(l) * cap;
+      const bool do_push =
+          scalar[l].empty() || rng.next_double() < push_bias;
+      if (do_push) {
+        double w = rng.next_double();
+        if (weight_levels > 0) {
+          w = static_cast<double>(static_cast<int>(w * weight_levels)) /
+              weight_levels;
+        }
+        const HfHeapEntry e{w, seq[l],
+                            static_cast<std::int32_t>(seq[l] % 1000)};
+        ++seq[l];
+        lbb::core::batch::lane_heap_push(h, lane_size[l], e);
+        scalar[l].push(e);
+      } else {
+        ASSERT_GT(lane_size[l], 0);
+        const HfHeapEntry got =
+            lbb::core::batch::lane_heap_pop(h, lane_size[l]);
+        const HfHeapEntry want = scalar[l].pop();
+        ASSERT_EQ(got.seq, want.seq)
+            << "lane " << l << " diverged at step " << step;
+        ASSERT_EQ(got.weight, want.weight) << "lane " << l;
+        ASSERT_EQ(got.slot, want.slot) << "lane " << l;
+      }
+      ASSERT_EQ(static_cast<std::size_t>(lane_size[l]), scalar[l].size());
+    }
+  }
+  // Drain every lane: the complete remaining order must agree bytewise.
+  for (int l = 0; l < lanes; ++l) {
+    HfHeapEntry* h = storage.data() + static_cast<std::size_t>(l) * cap;
+    while (!scalar[l].empty()) {
+      ASSERT_GT(lane_size[l], 0);
+      const HfHeapEntry got = lbb::core::batch::lane_heap_pop(h, lane_size[l]);
+      const HfHeapEntry want = scalar[l].pop();
+      ASSERT_EQ(got.seq, want.seq) << "lane " << l << " drain diverged";
+      ASSERT_EQ(got.weight, want.weight) << "lane " << l;
+      ASSERT_EQ(got.slot, want.slot) << "lane " << l;
+    }
+    EXPECT_EQ(lane_size[l], 0);
+  }
+}
+
+TEST(LaneHeapProperty, MatchesHfHeapContinuousWeights) {
+  for (std::uint64_t seed = 300; seed <= 310; ++seed) {
+    run_lane_streams(seed, /*lanes=*/8, /*steps=*/1500, 0.6,
+                     /*weight_levels=*/0);
+  }
+}
+
+TEST(LaneHeapProperty, MatchesHfHeapDenseDuplicateTies) {
+  // Few distinct weights: nearly every comparison is decided by the seq
+  // tiebreak -- the regime where any sift-order slip between the raw-buffer
+  // heap and HfHeap shows up as a pop divergence.
+  for (std::uint64_t seed = 400; seed <= 410; ++seed) {
+    run_lane_streams(seed, /*lanes=*/16, /*steps=*/1500, 0.6,
+                     /*weight_levels=*/2);
+  }
+}
+
+TEST(LaneHeapProperty, MatchesHfHeapAllEqualWeights) {
+  run_lane_streams(17, /*lanes=*/4, /*steps=*/3000, 0.55,
+                   /*weight_levels=*/1);
+}
+
+TEST(LaneHeapProperty, MatchesHfHeapPopHeavy) {
+  for (std::uint64_t seed = 500; seed <= 505; ++seed) {
+    run_lane_streams(seed, /*lanes=*/8, /*steps=*/2000, 0.35,
+                     /*weight_levels=*/4);
   }
 }
 

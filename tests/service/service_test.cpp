@@ -230,25 +230,65 @@ TEST(PartitionService, CacheDisabledAlwaysComputes) {
   EXPECT_EQ(svc.snapshot().cache_entries, 0);
 }
 
-TEST(PartitionService, CacheCapacityDropsInsteadOfEvicting) {
+TEST(PartitionService, SecondChanceEvictsColdEntryAndKeepsHitOne) {
   ServiceConfig cfg = small_config(1);
-  cfg.cache_capacity = 1;
+  cfg.cache_capacity = 2;
   PartitionService svc(cfg);
+  const auto a1 = svc.call(spec_for("ba", 1));  // fills slot 0
+  const auto b1 = svc.call(spec_for("ba", 2));  // fills slot 1
+  // A hit sets key 1's referenced bit, so the sweep must spare it.
   (void)svc.call(spec_for("ba", 1));
-  (void)svc.call(spec_for("ba", 2));  // cache full: computed, not inserted
+  // Cache full: the clock hand clears key 1's bit, passes it over, and
+  // evicts the cold key 2 to make room for key 3.
+  (void)svc.call(spec_for("ba", 3));
   ServiceStats stats = svc.snapshot();
-  EXPECT_EQ(stats.cache_entries, 1);
-  EXPECT_EQ(stats.cache_full_drops, 1);
-  // Key 1 still hits; key 2 recomputes.
-  PartitionRequest one, two;
+  EXPECT_EQ(stats.cache_entries, 2);
+  EXPECT_EQ(stats.cache_evictions, 1);
+
+  PartitionRequest one, three;
   one.spec = spec_for("ba", 1);
-  two.spec = spec_for("ba", 2);
+  three.spec = spec_for("ba", 3);
   svc.submit(one);
   ASSERT_EQ(one.wait(), ServiceStatus::kOk);
   EXPECT_TRUE(one.served_from_cache());
+  EXPECT_EQ(one.result().get(), a1.get());
+  svc.submit(three);
+  ASSERT_EQ(three.wait(), ServiceStatus::kOk);
+  EXPECT_TRUE(three.served_from_cache());
+
+  // The evicted key recomputes byte-identically: eviction changes hit
+  // counts, never served bytes.
+  PartitionRequest two;
+  two.spec = spec_for("ba", 2);
   svc.submit(two);
   ASSERT_EQ(two.wait(), ServiceStatus::kOk);
   EXPECT_FALSE(two.served_from_cache());
+  EXPECT_NE(two.result().get(), b1.get());
+  EXPECT_TRUE(*two.result() == *b1);
+}
+
+TEST(PartitionService, ClockSweepWrapsWhenEveryEntryIsReferenced) {
+  ServiceConfig cfg = small_config(1);
+  cfg.cache_capacity = 2;
+  PartitionService svc(cfg);
+  (void)svc.call(spec_for("ba", 1));
+  (void)svc.call(spec_for("ba", 2));
+  (void)svc.call(spec_for("ba", 1));  // reference both entries
+  (void)svc.call(spec_for("ba", 2));
+  // Full sweep: the hand strips both bits, wraps, and evicts slot 0.
+  (void)svc.call(spec_for("ba", 3));
+  ServiceStats stats = svc.snapshot();
+  EXPECT_EQ(stats.cache_entries, 2);
+  EXPECT_EQ(stats.cache_evictions, 1);
+  PartitionRequest two, three;
+  two.spec = spec_for("ba", 2);
+  three.spec = spec_for("ba", 3);
+  svc.submit(two);
+  ASSERT_EQ(two.wait(), ServiceStatus::kOk);
+  EXPECT_TRUE(two.served_from_cache());  // slot 1 survived the wrap
+  svc.submit(three);
+  ASSERT_EQ(three.wait(), ServiceStatus::kOk);
+  EXPECT_TRUE(three.served_from_cache());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 // Tests for the statistics utilities (RNG, running stats, tables).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -74,6 +75,79 @@ TEST(Xoshiro, BelowZeroThrowsInsteadOfUb) {
   EXPECT_EQ(rng.below(17), fresh.below(17));
   // n == 1 stays legal (and is always 0).
   EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(XoshiroJump, PinnedCrossPlatformByteStability) {
+  // The batched trial engine keys per-lane RNG streams off jump(); a lane's
+  // draws must be the SAME BYTES on every platform and compiler, or batched
+  // CSVs stop being portable golden files.  These constants were produced
+  // by the reference xoshiro256** jump polynomial and pin the first four
+  // draws of the 0-, 1- and 2-jump streams for two seeds.
+  struct Pin {
+    std::uint64_t seed;
+    int jumps;
+    std::uint64_t draws[4];
+  };
+  const Pin pins[] = {
+      {1, 0, {0xc5883e370b0926c3ULL, 0x021b74b80f71f81cULL,
+              0x268df06749e5c8ceULL, 0xe052757d667afef2ULL}},
+      {1, 1, {0x8c0796bdff0d1c96ULL, 0x9a924af10d94a40bULL,
+              0x4640e3e6cbecb3b7ULL, 0xc1d8497a1d5f5fdaULL}},
+      {1, 2, {0xc234ddc2a6e3b31eULL, 0x9e0eb4af7dcda501ULL,
+              0xb44c83d0e06d4c32ULL, 0x5c12829bb5ba770aULL}},
+      {42, 0, {0x5c8961e1f2055d33ULL, 0xe182e8e848466886ULL,
+               0x9f7313650e290a18ULL, 0xe6c0f551804ef0bbULL}},
+      {42, 1, {0x648bb1132a2afc35ULL, 0x960264e70db1fa99ULL,
+               0x9d9b1632ed1c6c71ULL, 0xfdba18b89289decdULL}},
+      {42, 2, {0x675edbe2b83ac3efULL, 0x02bd4870826b49cdULL,
+               0x336901ef90a3fd00ULL, 0xbc6e3c0a3f03f183ULL}},
+  };
+  for (const Pin& pin : pins) {
+    Xoshiro256 rng(pin.seed);
+    for (int j = 0; j < pin.jumps; ++j) rng.jump();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(rng(), pin.draws[i])
+          << "seed " << pin.seed << " jumps " << pin.jumps << " draw " << i;
+    }
+  }
+}
+
+TEST(XoshiroJump, SplitIsJumpAppliedLanePlusOneTimes) {
+  // split(lane) is the lane-keying primitive: an independent copy advanced
+  // lane+1 jumps, leaving the source untouched.
+  const Xoshiro256 base(7);
+  for (std::uint64_t lane = 0; lane < 5; ++lane) {
+    Xoshiro256 expect = base;
+    for (std::uint64_t j = 0; j <= lane; ++j) expect.jump();
+    Xoshiro256 got = base.split(lane);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(got(), expect()) << "lane " << lane << " draw " << i;
+    }
+  }
+  Xoshiro256 source(7);
+  Xoshiro256 untouched(7);
+  (void)source.split(3);
+  EXPECT_EQ(source(), untouched());  // const split leaves the source alone
+  EXPECT_EQ(Xoshiro256(7).split(2)(), 0x1faa85f7731d9346ULL);  // pinned
+}
+
+TEST(XoshiroJump, LaneStreamsDoNotOverlap) {
+  // jump() advances 2^128 steps, so distinct lanes' prefixes must be
+  // disjoint for any feasible draw count.  Draw 4096 values from each of 8
+  // lanes and require all 32768 to be pairwise distinct -- a single shared
+  // state would collide the full suffix.
+  constexpr int kLanes = 8;
+  constexpr int kDraws = 4096;
+  const Xoshiro256 base(123);
+  std::vector<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(kLanes) * kDraws);
+  for (std::uint64_t lane = 0; lane < kLanes; ++lane) {
+    Xoshiro256 rng = base.split(lane);
+    for (int i = 0; i < kDraws; ++i) seen.push_back(rng());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "two lanes produced the same 64-bit draw -- overlapping streams";
 }
 
 TEST(HashToUnit, RangeAndDeterminism) {

@@ -1,0 +1,180 @@
+// Tests for stats::TailAccumulator: binning, exact extremes, nearest-rank
+// quantiles, the any-order merge contract the tail_study engine relies on
+// (integer bins -> merge order never changes a reported number), reset
+// reuse, and grid-mismatch rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/tail_accumulator.hpp"
+
+namespace lbb::stats {
+namespace {
+
+TEST(TailAccumulator, EmptyState) {
+  TailAccumulator acc(1.0, 8.0, 16);
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.bins(), 16);
+  EXPECT_EQ(acc.lo(), 1.0);
+  EXPECT_EQ(acc.hi(), 8.0);
+  EXPECT_EQ(acc.out_of_range(), 0);
+  for (std::int32_t b = 0; b < acc.bins(); ++b) {
+    EXPECT_EQ(acc.bin_count(b), 0);
+  }
+}
+
+TEST(TailAccumulator, BinsAndExtremesAreExact) {
+  TailAccumulator acc(0.0, 10.0, 10);  // bin width 1
+  acc.add(0.5);
+  acc.add(3.25);
+  acc.add(3.75);
+  acc.add(9.999);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_EQ(acc.bin_count(0), 1);
+  EXPECT_EQ(acc.bin_count(3), 2);
+  EXPECT_EQ(acc.bin_count(9), 1);
+  EXPECT_EQ(acc.min(), 0.5);  // extremes are exact, not bin-rounded
+  EXPECT_EQ(acc.max(), 9.999);
+  EXPECT_EQ(acc.out_of_range(), 0);
+}
+
+TEST(TailAccumulator, OutOfRangeSamplesClampIntoEdgeBins) {
+  TailAccumulator acc(1.0, 2.0, 4);
+  acc.add(0.25);  // below lo: bin 0
+  acc.add(7.0);   // at/above hi: last bin
+  acc.add(1.5);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_EQ(acc.out_of_range(), 2);
+  EXPECT_EQ(acc.bin_count(0), 1);
+  EXPECT_EQ(acc.bin_count(3), 1);
+  EXPECT_EQ(acc.min(), 0.25);  // true extremes survive the clamp
+  EXPECT_EQ(acc.max(), 7.0);
+  // Clamped samples still bound the quantiles: the top rank resolves to
+  // the exact maximum (never hi_, which would underestimate the tail),
+  // and low ranks stay conservative -- bin 0's upper edge, not min.
+  EXPECT_EQ(acc.quantile(1.0), 7.0);
+  EXPECT_EQ(acc.quantile(0.0), 1.25);
+}
+
+TEST(TailAccumulator, NearestRankQuantiles) {
+  TailAccumulator acc(0.0, 100.0, 100);  // bin width 1
+  for (int i = 1; i <= 100; ++i) {
+    acc.add(static_cast<double>(i) - 0.5);  // one sample per bin
+  }
+  // Nearest-rank on a 1-per-bin grid: quantile(q) is the upper edge of the
+  // ceil(q*100)-th sample's bin.
+  EXPECT_EQ(acc.quantile(0.50), 50.0);
+  EXPECT_EQ(acc.quantile(0.90), 90.0);
+  EXPECT_EQ(acc.quantile(0.99), 99.0);
+  EXPECT_EQ(acc.quantile(1.0), 99.5);  // exact max
+  // Monotone in q.
+  double prev = acc.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = acc.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TailAccumulator, MergeIsOrderIndependent) {
+  // The tail_study engine merges per-thread scratch in COMPLETION order --
+  // whatever order workers finish -- and this exactness is why that is
+  // legal.  Build three partials, merge them in every permutation, and
+  // require every observable to be identical.
+  const auto fill = [](TailAccumulator& acc, std::uint64_t seed, int n) {
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < n; ++i) acc.add(1.0 + 7.0 * rng.next_double());
+  };
+  std::vector<TailAccumulator> parts(3, TailAccumulator(1.0, 8.0, 64));
+  fill(parts[0], 11, 1000);
+  fill(parts[1], 22, 500);
+  fill(parts[2], 33, 1);
+
+  std::vector<int> order = {0, 1, 2};
+  TailAccumulator reference(1.0, 8.0, 64);
+  for (const int i : order) reference.merge(parts[i]);
+  while (std::next_permutation(order.begin(), order.end())) {
+    TailAccumulator merged(1.0, 8.0, 64);
+    for (const int i : order) merged.merge(parts[i]);
+    EXPECT_EQ(merged.count(), reference.count());
+    EXPECT_EQ(merged.min(), reference.min());
+    EXPECT_EQ(merged.max(), reference.max());
+    EXPECT_EQ(merged.out_of_range(), reference.out_of_range());
+    for (std::int32_t b = 0; b < reference.bins(); ++b) {
+      EXPECT_EQ(merged.bin_count(b), reference.bin_count(b));
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(merged.quantile(q), reference.quantile(q));
+    }
+  }
+}
+
+TEST(TailAccumulator, MergeMatchesSequentialAdds) {
+  TailAccumulator whole(1.0, 8.0, 32);
+  TailAccumulator a(1.0, 8.0, 32);
+  TailAccumulator b(1.0, 8.0, 32);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double x = 1.0 + 7.5 * rng.next_double();  // some past hi
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_EQ(a.out_of_range(), whole.out_of_range());
+  for (std::int32_t bin = 0; bin < whole.bins(); ++bin) {
+    EXPECT_EQ(a.bin_count(bin), whole.bin_count(bin));
+  }
+}
+
+TEST(TailAccumulator, MergeWithEmptyIsNoOp) {
+  TailAccumulator acc(1.0, 8.0, 8);
+  acc.add(2.0);
+  TailAccumulator empty(1.0, 8.0, 8);
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_EQ(acc.min(), 2.0);
+  // Merging INTO an empty one adopts the other's extremes.
+  TailAccumulator target(1.0, 8.0, 8);
+  target.merge(acc);
+  EXPECT_EQ(target.count(), 1);
+  EXPECT_EQ(target.min(), 2.0);
+  EXPECT_EQ(target.max(), 2.0);
+}
+
+TEST(TailAccumulator, MergeRejectsGridMismatch) {
+  TailAccumulator a(1.0, 8.0, 8);
+  TailAccumulator bins(1.0, 8.0, 16);
+  TailAccumulator range(1.0, 4.0, 8);
+  a.add(2.0);
+  bins.add(2.0);
+  range.add(2.0);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
+TEST(TailAccumulator, ResetKeepsGridAndZeroesCounts) {
+  TailAccumulator acc(1.0, 8.0, 8);
+  acc.add(0.5);
+  acc.add(3.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.out_of_range(), 0);
+  EXPECT_EQ(acc.bins(), 8);
+  for (std::int32_t b = 0; b < acc.bins(); ++b) {
+    EXPECT_EQ(acc.bin_count(b), 0);
+  }
+  acc.add(2.0);  // usable again with the same grid
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace lbb::stats

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json perf reports produced by `lbb_bench perf_report`,
-`lbb_bench par_speedup`, or `lbb_bench serve_load`.
+`lbb_bench par_speedup`, `lbb_bench serve_load`, or `lbb_bench tail_study`.
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--band 0.15]
@@ -26,6 +26,17 @@ matched cell the script compares:
     judged between matching hardware_concurrency reports.  p50/p95 shifts
     are printed informationally (the tail is the contract; the median
     mostly tracks cache-hit cost).
+  * batch_speedup -- perf_report cells carry the batched-vs-scalar
+    throughput multiple of the SoA trial engine; a drop beyond the band
+    means the batched kernels lost their edge over the scalar path (or the
+    scalar path regressed less than the batched one).  Wall-clock derived,
+    so judged only between matching hardware_concurrency reports.
+  * p99 / p999 / max_ratio / upper_bound -- tail_study cells (max-ratio
+    TAIL, unitless).  These are machine-independent statistics, so they are
+    gated regardless of hardware: a p99 or p99.9 increase beyond the band
+    is a tail regression, and an observed max_ratio above the cell's proven
+    upper_bound is flagged unconditionally -- that is a theorem violation,
+    not noise.
 
 Exit status: 0 if no regression, 1 if any cell regressed, 2 on usage or
 input errors.  Cells present in only one report are listed but do not fail
@@ -52,6 +63,12 @@ def load_cells(path):
             key = (exp.get("name", "?"), cell.get("algo", "?"),
                    cell.get("log2_n", -1), cell.get("threads", -1))
             cells[key] = cell
+    # tail_study reports carry a single top-level cell array instead of an
+    # experiments wrapper; key them by the benchmark name.
+    for cell in report.get("cells", []):
+        key = (report.get("benchmark", "?"), cell.get("algo", "?"),
+               cell.get("log2_n", -1), cell.get("threads", -1))
+        cells[key] = cell
     meta = {k: report.get(k) for k in ("benchmark", "threads", "trials",
                                        "alloc_probe",
                                        "hardware_concurrency")}
@@ -135,6 +152,28 @@ def main(argv):
             dspeed = rel_change(b["speedup"], c.get("speedup", 0))
             if dspeed < -args.band:
                 verdicts.append(f"speedup {fmt_pct(dspeed)} < band")
+        # Batched-engine regression (perf_report cells): the batched/scalar
+        # throughput multiple dropped beyond the band.  Both rates come
+        # from the same run on the same machine, but the multiple still
+        # shifts with core count, so it gets the same-hw guard.
+        if same_hw and b.get("batch_speedup", 0) > 0:
+            dbatch = rel_change(b["batch_speedup"], c.get("batch_speedup", 0))
+            if dbatch < -args.band:
+                verdicts.append(f"batch_speedup {fmt_pct(dbatch)} < band")
+        # Tail trajectory (tail_study cells, unitless max-ratio quantiles):
+        # machine-independent statistics, so gated without the hw guard.
+        has_tail = b.get("p99", 0) > 0 and c.get("p99", 0) > 0
+        if has_tail:
+            for q in ("p99", "p999"):
+                dq = rel_change(b.get(q, 0), c.get(q, 0))
+                if dq > args.band:
+                    verdicts.append(f"{q} {fmt_pct(dq)} > band")
+        # The observed max must sit below the proven bound, full stop.
+        if (c.get("upper_bound", 0) > 0
+                and c.get("max_ratio", 0) > c["upper_bound"]):
+            verdicts.append(
+                f"max_ratio {c['max_ratio']:.6g} exceeds proven bound "
+                f"{c['upper_bound']:.6g}")
         # Tail-latency regression (serve_load cells): only the p99 and the
         # serving throughput gate; p50/p95 are informational below.
         has_latency = b.get("p99_ms", 0) > 0 and c.get("p99_ms", 0) > 0
@@ -152,6 +191,13 @@ def main(argv):
             regressions.append(label)
         detail = (f"wall {fmt_pct(wall)}  rate {fmt_pct(rate)}  "
                   f"allocs {dcount:+d} ({dbytes:+d} B)")
+        if b.get("batch_speedup", 0) > 0 and c.get("batch_speedup", 0) > 0:
+            detail += (f"  batchx "
+                       f"{fmt_pct(rel_change(b['batch_speedup'], c['batch_speedup']))}")
+        if has_tail:
+            detail += (
+                f"  p99 {fmt_pct(rel_change(b['p99'], c['p99']))}"
+                f"  p99.9 {fmt_pct(rel_change(b.get('p999', 0), c.get('p999', 0)))}")
         if has_latency:
             detail += (
                 f"  p50 {fmt_pct(rel_change(b.get('p50_ms', 0), c.get('p50_ms', 0)))}"

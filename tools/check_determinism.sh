@@ -7,7 +7,9 @@
 # sequential kernels at several thread counts, runs `lbb_bench serve_load
 # --smoke` so the resident PartitionService's cache-hit / cache-miss /
 # cache-bypass answers are byte-compared and warm serving is proven
-# allocation-free, then smoke-checks that `lbb_bench perf_report` emits a
+# allocation-free, runs `lbb_bench tail_study --smoke` so the batched SoA
+# trial engine is byte-compared against the scalar path across batch widths
+# and thread counts, then smoke-checks that `lbb_bench perf_report` emits a
 # well-formed BENCH_ratio_experiment.json.  Pure output comparison -- no
 # wall-clock assertions, so it is safe on loaded or single-core CI runners.
 #
@@ -86,6 +88,13 @@ echo "== serving byte-identity + zero-alloc: lbb_bench serve_load --smoke =="
 # smoke harness via the interposing probe when it is linked).
 "$LBB" serve_load --smoke
 echo "ok: service hit==miss==bypass byte-identical, warm serving clean"
+
+echo "== batched-engine byte-identity: lbb_bench tail_study --smoke =="
+# The structure-of-arrays batch kernels must reproduce the scalar trial
+# path exactly -- RunningStats, bisection counts and every histogram bin --
+# for batch widths {1,4,8,16} at one and several threads.
+"$LBB" tail_study --smoke
+echo "ok: batched trial engine byte-identical to scalar across widths"
 
 if [ -n "$BUILD_DIR" ]; then
   echo "== service suite: ctest -L service =="

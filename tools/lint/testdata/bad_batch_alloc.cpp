@@ -1,0 +1,38 @@
+// lbb-lint negative fixture: a structure-of-arrays batched lane kernel in
+// the style of src/core/batch/ (LBB_HOT kernels advancing lanes over a
+// BatchWorkspace).  The hot-alloc closure must flag growth of lane-local
+// containers -- the batched engine's whole point is that per-lane state
+// lives in the workspace's recycled SoA vectors -- while leaving
+// workspace-rooted receivers alone.  Never compiled; exists so
+// tools/lint/lbb_lint_test.py can prove the rule covers batch-shaped code.
+#include <vector>
+
+#define LBB_HOT
+
+struct LaneEntry {
+  unsigned long long seq;
+  double weight;
+};
+
+struct BatchWorkspace {
+  std::vector<double> slot_weight;
+  std::vector<LaneEntry> heap;
+};
+
+// Reachable one level down from the hot lane kernel: still in the closure.
+inline void spill_lane(std::vector<LaneEntry>& out, LaneEntry e) {
+  out.push_back(e);  // BAD: receiver not workspace-rooted
+}
+
+LBB_HOT inline void batch_lane_run(BatchWorkspace& ws, const double* w,
+                                   int count) {
+  std::vector<LaneEntry> overflow;
+  overflow.reserve(static_cast<unsigned>(count));  // BAD: lane-local growth
+  for (int i = 0; i < count; ++i) {
+    overflow.push_back(LaneEntry{0, w[i]});  // BAD
+    ws.slot_weight.push_back(w[i]);          // OK: workspace SoA vector
+  }
+  auto& heap = ws.heap;
+  heap.emplace_back();                      // OK: alias of a ws member
+  spill_lane(overflow, LaneEntry{1, 0.0});  // pulls spill_lane into closure
+}
