@@ -41,6 +41,7 @@
 #include <cstdint>
 
 #include "core/batch/batch_workspace.hpp"
+#include "core/simd/dispatch.hpp"
 #include "core/split.hpp"
 #include "core/thread_annotations.hpp"
 
@@ -106,8 +107,16 @@ LBB_HOT inline void hf_lane_run(BatchWorkspace& ws, const Model& model,
       if (live + 1 < n) hand = lane_heap_pop(h, hsize);
     }
   }
-  for (std::int32_t i = 0; i < n; ++i) {
-    if (sw[i] > ws.lane_max[l]) ws.lane_max[l] = sw[i];
+  const simd::LaneKernels& k = simd::active();
+  if (k.isa != simd::Isa::kScalar) {
+    // max is exact and order-free over positive weights, so the vector
+    // reduce returns the bitwise-same value as the scalar scan.
+    const double m = k.max_f64(sw, n);
+    if (m > ws.lane_max[l]) ws.lane_max[l] = m;
+  } else {
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (sw[i] > ws.lane_max[l]) ws.lane_max[l] = sw[i];
+    }
   }
 }
 
@@ -121,7 +130,17 @@ LBB_HOT inline void hf_lane_run(BatchWorkspace& ws, const Model& model,
 /// L2 for large n and makes the batched path slower than scalar, while a
 /// lane run keeps one heap hot until the trial finishes.  Outputs are
 /// identical either way (hf_lane_run pops in the same total order).
-inline constexpr std::int32_t kHfLockstepMaxPieces = 2048;
+///
+/// Re-tuned after the SIMD lane kernels landed (tail_study --algos=hf
+/// --batch=16 --budget=0, equal-work trial counts, avx512 dispatch,
+/// 3 runs/point): per-lane wins at every n >= 256 (e.g. n=2^10 per-lane
+/// 1.02-1.06 s vs lockstep 1.13-1.28 s; n=2^12 1.23-1.35 s vs
+/// 1.58-1.68 s) -- heap locality dominates even though only lockstep
+/// vectorizes the bisect.  At n <= 128 the two are within run-to-run
+/// noise (n=64: 0.073-0.084 s per-lane vs 0.079-0.098 s lockstep), so
+/// the threshold sits at the top of the noise-equal range, keeping the
+/// dense bisect_lanes path live in production-sized small-n runs.
+inline constexpr std::int32_t kHfLockstepMaxPieces = 128;
 
 template <typename Model>
 LBB_HOT void hf_batch_run(BatchWorkspace& ws, const Model& model,
@@ -152,14 +171,24 @@ LBB_HOT void hf_batch_run(BatchWorkspace& ws, const Model& model,
   }
   if (n == 1) return;
 
+  const simd::LaneKernels& k = simd::active();
   for (std::int32_t step = 0; step < n - 1; ++step) {
-    // Gather: pop each lane's heaviest slot into the staging arrays.
+    // Gather: pop each lane's heaviest slot into the staging arrays with
+    // plain scalar loads.  A k.gather_pairs staging variant (record the
+    // absolute offsets, one indexed vector gather) was measured here and
+    // LOST ~5-8% end to end at batch=16 on avx512: hardware gathers are
+    // microcoded on common cores, while these loads hit lines the pops
+    // just touched.  The kernel stays in the LaneKernels table (pinned by
+    // property_simd_lanes_test) for gather-friendly targets, but the
+    // driver keeps the scalar loads; the dense bisect below and the max
+    // reduce are where the vector tables actually pay.
     for (std::int32_t l = 0; l < lanes; ++l) {
       const std::size_t base = static_cast<std::size_t>(l) * stride;
       const HfHeapEntry top =
           lane_heap_pop(ws.heap.data() + base, ws.heap_size[l]);
       ws.stage_slot[l] = top.slot;
-      ws.stage_hash[l] = ws.slot_hash[base + static_cast<std::size_t>(top.slot)];
+      ws.stage_hash[l] =
+          ws.slot_hash[base + static_cast<std::size_t>(top.slot)];
       ws.stage_weight[l] =
           ws.slot_weight[base + static_cast<std::size_t>(top.slot)];
     }
@@ -196,15 +225,23 @@ LBB_HOT void hf_batch_run(BatchWorkspace& ws, const Model& model,
     }
   }
 
-  // Reduce: the final n slot weights per lane are the piece weights.
-  for (std::int32_t l = 0; l < lanes; ++l) {
-    const std::size_t base = static_cast<std::size_t>(l) * stride;
-    double m = ws.slot_weight[base];
-    for (std::int32_t i = 1; i < n; ++i) {
-      const double w = ws.slot_weight[base + static_cast<std::size_t>(i)];
-      if (w > m) m = w;
+  // Reduce: the final n slot weights per lane are the piece weights.  The
+  // vector max is exact and order-free, hence bit-identical to the scan.
+  if (k.isa != simd::Isa::kScalar) {
+    for (std::int32_t l = 0; l < lanes; ++l) {
+      const std::size_t base = static_cast<std::size_t>(l) * stride;
+      ws.lane_max[l] = k.max_f64(ws.slot_weight.data() + base, n);
     }
-    ws.lane_max[l] = m;
+  } else {
+    for (std::int32_t l = 0; l < lanes; ++l) {
+      const std::size_t base = static_cast<std::size_t>(l) * stride;
+      double m = ws.slot_weight[base];
+      for (std::int32_t i = 1; i < n; ++i) {
+        const double w = ws.slot_weight[base + static_cast<std::size_t>(i)];
+        if (w > m) m = w;
+      }
+      ws.lane_max[l] = m;
+    }
   }
 }
 

@@ -23,7 +23,9 @@
 // documents the identity argument).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -33,6 +35,38 @@
 namespace lbb::core::batch {
 
 using detail::HfHeapEntry;
+
+/// Minimal aligned allocator for the SoA buffers: the vector lane kernels
+/// issue full-cacheline loads/stores, and 64-byte alignment keeps a width-8
+/// AVX-512 access inside one line.  Allocations route through the aligned
+/// operator new, which the alloc probe interposes like every other form, so
+/// the zero-allocation gate still covers these buffers.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0);
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
 
 /// Pushes `e` onto the 4-ary max-heap stored at `h[0..size)`, growing `size`.
 /// Exactly HfHeap::push's hole-sift on a raw buffer: same comparator
@@ -74,6 +108,11 @@ LBB_HOT inline HfHeapEntry lane_heap_pop(HfHeapEntry* h,
                                   : h[c].seq < h[best].seq;
         if (c_higher) best = c;
       }
+      // Overlap the next level's child-cacheline fetch with this level's
+      // final compare (same rationale as HfHeap::pop; a prefetch past the
+      // live end never faults and changes nothing observable).
+      LBB_PREFETCH(h + 4 * best + 1);
+      LBB_PREFETCH(h + 4 * best + 4);
       const bool best_higher = h[best].weight != last.weight
                                    ? h[best].weight > last.weight
                                    : h[best].seq < last.seq;
@@ -94,6 +133,14 @@ class BatchWorkspace {
   /// Maximum lanes a single prepare() accepts; batches wider than the
   /// engine's 32-trial chunk never occur.
   static constexpr std::int32_t kMaxWidth = 32;
+
+  /// Byte alignment of every SoA buffer (one cacheline / one AVX-512
+  /// register); prepare() asserts it on construction of the buffers.
+  static constexpr std::size_t kAlign = 64;
+
+  /// All SoA buffers use cacheline-aligned storage (see AlignedAllocator).
+  template <typename T>
+  using Buf = std::vector<T, AlignedAllocator<T, kAlign>>;
 
   /// Ensures capacity for `width` lanes of `n` pieces each.  Growth-only
   /// (capacity is retained across calls), so alternating cell sizes do not
@@ -127,6 +174,7 @@ class BatchWorkspace {
     // dense loops over these arrays are the vectorization target.
     stage_lane.resize(lanes);
     stage_slot.resize(lanes);
+    stage_index.resize(lanes);
     stage_n.resize(lanes);
     stage_hash.resize(lanes);
     stage_weight.resize(lanes);
@@ -141,6 +189,19 @@ class BatchWorkspace {
     lane_bisections.resize(lanes);
     next_seq.resize(lanes);
     slots_used.resize(lanes);
+    // The allocator guarantees these; assert the contract the vector
+    // kernels (and their full-cacheline accesses) are written against.
+    require_aligned(slot_hash.data());
+    require_aligned(slot_weight.data());
+    require_aligned(frame_hash.data());
+    require_aligned(frame_weight.data());
+    require_aligned(stage_index.data());
+    require_aligned(stage_hash.data());
+    require_aligned(stage_weight.data());
+    require_aligned(heavy_hash.data());
+    require_aligned(heavy_weight.data());
+    require_aligned(light_hash.data());
+    require_aligned(light_weight.data());
   }
 
   [[nodiscard]] std::int32_t width() const noexcept { return width_; }
@@ -149,31 +210,46 @@ class BatchWorkspace {
 
   // --- SoA buffers (public by design: kernels index them directly, the
   // --- same scratch idiom as TrialWorkspace's hf_slots/heap/frames). ---
-  std::vector<std::uint64_t> slot_hash;
-  std::vector<double> slot_weight;
-  std::vector<HfHeapEntry> heap;
-  std::vector<std::int32_t> heap_size;
-  std::vector<std::uint64_t> frame_hash;
-  std::vector<double> frame_weight;
-  std::vector<std::int32_t> frame_n;
-  std::vector<std::int32_t> frame_top;
-  std::vector<std::int32_t> stage_lane;
-  std::vector<std::int32_t> stage_slot;
-  std::vector<std::int32_t> stage_n;
-  std::vector<std::uint64_t> stage_hash;
-  std::vector<double> stage_weight;
-  std::vector<std::uint64_t> heavy_hash;
-  std::vector<double> heavy_weight;
-  std::vector<std::uint64_t> light_hash;
-  std::vector<double> light_weight;
-  std::vector<std::uint64_t> root_hash;
-  std::vector<double> root_weight;
-  std::vector<double> lane_max;
-  std::vector<std::int64_t> lane_bisections;
-  std::vector<std::int64_t> next_seq;
-  std::vector<std::int32_t> slots_used;
+  Buf<std::uint64_t> slot_hash;
+  Buf<double> slot_weight;
+  Buf<HfHeapEntry> heap;
+  Buf<std::int32_t> heap_size;
+  Buf<std::uint64_t> frame_hash;
+  Buf<double> frame_weight;
+  Buf<std::int32_t> frame_n;
+  Buf<std::int32_t> frame_top;
+  Buf<std::int32_t> stage_lane;
+  Buf<std::int32_t> stage_slot;
+  /// Absolute element offsets (lane base + slot) of the staged parents in
+  /// slot_hash/slot_weight; input format of the vector gather kernel
+  /// (simd::LaneKernels::gather_pairs).  The HF lockstep driver currently
+  /// stages with scalar loads instead -- hardware gathers measured slower
+  /// there (see hf_batch_run) -- so this buffer is reserved for
+  /// gather-friendly targets.
+  Buf<std::int64_t> stage_index;
+  Buf<std::int32_t> stage_n;
+  Buf<std::uint64_t> stage_hash;
+  Buf<double> stage_weight;
+  Buf<std::uint64_t> heavy_hash;
+  Buf<double> heavy_weight;
+  Buf<std::uint64_t> light_hash;
+  Buf<double> light_weight;
+  Buf<std::uint64_t> root_hash;
+  Buf<double> root_weight;
+  Buf<double> lane_max;
+  Buf<std::int64_t> lane_bisections;
+  Buf<std::int64_t> next_seq;
+  Buf<std::int32_t> slots_used;
 
  private:
+  template <typename T>
+  static void require_aligned(const T* p) {
+    if ((reinterpret_cast<std::uintptr_t>(p) & (kAlign - 1)) != 0) {
+      throw std::logic_error(
+          "BatchWorkspace: SoA buffer is not 64-byte aligned");
+    }
+  }
+
   std::int32_t width_ = 0;
   std::int32_t stride_ = 0;
 };

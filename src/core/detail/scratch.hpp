@@ -76,6 +76,13 @@ class HfHeap {
         for (std::size_t c = first_child + 1; c < end_child; ++c) {
           if (higher(entries_[c], entries_[best])) best = c;
         }
+        // Fetch the next level's children while comparing this one: for
+        // large heaps (N >= ~8k) the sift-down is memory-latency-bound, and
+        // the 4 candidate children (4*best+1 .. 4*best+4, 96 bytes of
+        // 24-byte entries) span up to two cachelines.  Harmless past the
+        // live end -- prefetches never fault (see LBB_PREFETCH).
+        LBB_PREFETCH(entries_.data() + 4 * best + 1);
+        LBB_PREFETCH(entries_.data() + 4 * best + 4);
         if (!higher(entries_[best], last)) break;
         entries_[hole] = entries_[best];
         hole = best;

@@ -1,0 +1,174 @@
+// Runtime ISA selection for the lane kernel tables (see dispatch.hpp).
+#include "core/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "core/run_context.hpp"
+
+namespace lbb::core::simd {
+
+namespace {
+
+/// True when the matching kernel TU was built into this binary.
+bool isa_compiled(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(LBB_SIMD_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(LBB_SIMD_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// True when this CPU can execute the level.  AVX-512 requires F (the
+/// foundation) and DQ (vpmullq / vcvtuqq2pd, which the kernels use).
+bool cpu_supports(Isa isa) noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+bool runnable(Isa isa) noexcept { return isa_compiled(isa) && cpu_supports(isa); }
+
+const LaneKernels& table_for(Isa isa) noexcept {
+  switch (isa) {
+#if defined(LBB_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      return detail::avx512_kernels();
+#endif
+#if defined(LBB_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      return detail::avx2_kernels();
+#endif
+    default:
+      return detail::scalar_kernels();
+  }
+}
+
+/// Strongest runnable level <= want; kScalar is always runnable.
+Isa clamp_to_runnable(Isa want) noexcept {
+  for (std::int32_t level = static_cast<std::int32_t>(want); level > 0;
+       --level) {
+    const auto isa = static_cast<Isa>(level);
+    if (runnable(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+/// Auto-detection: the strongest runnable level, unless LBB_SIMD_FORCE
+/// names a cap (which still clamps to what is runnable, so forcing a level
+/// this build or CPU lacks degrades deterministically instead of failing).
+Isa detect() noexcept {
+  Isa want = Isa::kAvx512;
+  if (const char* force = std::getenv("LBB_SIMD_FORCE")) {
+    want = parse_isa(force);
+  }
+  return clamp_to_runnable(want);
+}
+
+/// The selected table; null until the first active() call or force.
+std::atomic<const LaneKernels*> g_active{nullptr};
+
+/// One-shot latch for emit_isa_once.
+std::atomic<bool> g_isa_emitted{false};
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+Isa parse_isa(std::string_view name) noexcept {
+  if (name == "avx512") return Isa::kAvx512;
+  if (name == "avx2") return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+const LaneKernels& active() noexcept {
+  const LaneKernels* k = g_active.load();
+  if (k == nullptr) {
+    // detect() is idempotent, so a race here is two threads storing the
+    // same pointer; compare_exchange keeps any concurrent force_isa() win.
+    const LaneKernels* detected = &table_for(detect());
+    const LaneKernels* expected = nullptr;
+    g_active.compare_exchange_strong(expected, detected);
+    k = g_active.load();
+  }
+  return *k;
+}
+
+Isa active_isa() noexcept { return active().isa; }
+
+const LaneKernels& kernels(Isa isa) noexcept {
+  return table_for(clamp_to_runnable(isa));
+}
+
+std::int32_t runnable_isas(Isa* out, std::int32_t cap) noexcept {
+  std::int32_t n = 0;
+  for (std::int32_t level = 0; level <= static_cast<std::int32_t>(Isa::kAvx512);
+       ++level) {
+    const auto isa = static_cast<Isa>(level);
+    if (!runnable(isa)) continue;
+    if (n < cap) out[n] = isa;
+    ++n;
+  }
+  return n < cap ? n : cap;
+}
+
+Isa force_isa(Isa isa) noexcept {
+  const Isa selected = clamp_to_runnable(isa);
+  g_active.store(&table_for(selected));
+  return selected;
+}
+
+void clear_forced_isa() noexcept { g_active.store(&table_for(detect())); }
+
+ScopedForceIsa::ScopedForceIsa(Isa isa) noexcept
+    : prev_(g_active.load()), selected_(force_isa(isa)) {}
+
+ScopedForceIsa::~ScopedForceIsa() {
+  g_active.store(static_cast<const LaneKernels*>(prev_));
+}
+
+void emit_isa_once(MetricsSink& sink) {
+  bool expected = false;
+  if (g_isa_emitted.compare_exchange_strong(expected, true)) {
+    sink.on_counter("simd.isa",
+                    static_cast<double>(static_cast<std::int32_t>(active_isa())));
+  }
+}
+
+namespace detail {
+void reset_isa_emission_for_test() noexcept { g_isa_emitted.store(false); }
+}  // namespace detail
+
+}  // namespace lbb::core::simd

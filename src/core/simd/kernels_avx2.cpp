@@ -1,0 +1,19 @@
+// AVX2 (4-wide) kernel table.  Compiled only when LBB_SIMD=ON, with
+// -mavx2 -ffp-contract=off (see src/core/CMakeLists.txt): the ISA flag
+// exposes the U64x4/F64x4 wrappers, and disabling contraction keeps every
+// floating-point multiply/add single-rounded so the outputs stay
+// bit-identical to the scalar table.
+#include "core/simd/kernels_inl.hpp"
+
+#if !defined(__AVX2__)
+#error "kernels_avx2.cpp must be compiled with -mavx2"
+#endif
+
+namespace lbb::core::simd::detail {
+
+const LaneKernels& avx2_kernels() noexcept {
+  static constexpr LaneKernels k = make_lane_kernels<U64x4, F64x4>(Isa::kAvx2);
+  return k;
+}
+
+}  // namespace lbb::core::simd::detail

@@ -1,0 +1,20 @@
+// AVX-512 (8-wide) kernel table.  Compiled only when LBB_SIMD=ON, with
+// -mavx512f -mavx512dq -ffp-contract=off: DQ supplies the 64-bit multiply
+// (vpmullq) and unsigned convert (vcvtuqq2pd) the lane arithmetic needs --
+// the dispatcher correspondingly requires both CPU feature bits before
+// selecting this table.
+#include "core/simd/kernels_inl.hpp"
+
+#if !defined(__AVX512F__) || !defined(__AVX512DQ__)
+#error "kernels_avx512.cpp must be compiled with -mavx512f -mavx512dq"
+#endif
+
+namespace lbb::core::simd::detail {
+
+const LaneKernels& avx512_kernels() noexcept {
+  static constexpr LaneKernels k =
+      make_lane_kernels<U64x8, F64x8>(Isa::kAvx512);
+  return k;
+}
+
+}  // namespace lbb::core::simd::detail

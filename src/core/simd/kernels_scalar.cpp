@@ -1,0 +1,16 @@
+// Portable (width-1) kernel table: the shared bodies instantiated with the
+// scalar wrappers.  Always compiled, on every target; this is the table the
+// dispatcher falls back to when no vector TU is built in or the CPU lacks
+// the vector ISA, and the reference the forced-ISA identity sweeps compare
+// against.
+#include "core/simd/kernels_inl.hpp"
+
+namespace lbb::core::simd::detail {
+
+const LaneKernels& scalar_kernels() noexcept {
+  static constexpr LaneKernels k =
+      make_lane_kernels<U64x1, F64x1>(Isa::kScalar);
+  return k;
+}
+
+}  // namespace lbb::core::simd::detail

@@ -77,3 +77,14 @@
 /// Hot-path marker for tools/lint/lbb_lint.py (see header comment).  Not a
 /// compiler attribute; expands to nothing everywhere.
 #define LBB_HOT
+
+/// Best-effort software prefetch (read intent, default temporal locality).
+/// A prefetch never faults, so the address may point past the live end of a
+/// buffer; it is purely a latency hint and has no observable effect on
+/// results.  The 4-ary heap sift-down uses it to fetch the next level's
+/// child cachelines while the current level's comparisons run.
+#if defined(__GNUC__) || defined(__clang__)
+#define LBB_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define LBB_PREFETCH(addr) ((void)sizeof(addr))
+#endif

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "core/simd/dispatch.hpp"
 #include "core/thread_annotations.hpp"
 #include "problems/alpha_dist.hpp"
 #include "problems/synthetic.hpp"
@@ -55,12 +56,33 @@ class SyntheticLaneModel {
   /// Dense form over `count` nodes.  The kind switch runs once; each case
   /// is a branch-free contiguous loop (the batched drivers' vectorization
   /// target).  Arithmetic per element is identical to bisect() above.
+  /// When the runtime dispatcher selected a vector ISA (core/simd), the
+  /// dense loop runs its hand-vectorized twin -- bit-identical by the
+  /// exactness argument in core/simd/dispatch.hpp; the inline loops below
+  /// stay as the scalar fast path (no indirect call in the portable build).
   LBB_HOT void bisect_lanes(std::int32_t count, const std::uint64_t* hash,
                             const double* w, std::uint64_t* heavy_hash,
                             double* heavy_w, std::uint64_t* light_hash,
                             double* light_w) const noexcept {
     const double lo = dist_->lower_bound();
     const double hi = dist_->upper_bound();
+    const core::simd::LaneKernels& k = core::simd::active();
+    if (k.isa != core::simd::Isa::kScalar) {
+      switch (dist_->kind()) {
+        case AlphaDistribution::Kind::kUniform:
+          k.bisect_uniform(count, hash, w, lo, hi, heavy_hash, heavy_w,
+                           light_hash, light_w);
+          return;
+        case AlphaDistribution::Kind::kPoint:
+          k.bisect_point(count, hash, w, lo, heavy_hash, heavy_w, light_hash,
+                         light_w);
+          return;
+        case AlphaDistribution::Kind::kTwoPoint:
+          k.bisect_two_point(count, hash, w, lo, hi, heavy_hash, heavy_w,
+                             light_hash, light_w);
+          return;
+      }
+    }
     switch (dist_->kind()) {
       case AlphaDistribution::Kind::kUniform:
         for (std::int32_t i = 0; i < count; ++i) {

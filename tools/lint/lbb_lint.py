@@ -17,14 +17,18 @@ The repo makes three promises that ordinary compilers cannot check:
                   (tests/perf/alloc_gate_test.cpp) proves the steady state,
                   this lint pins the provenance statically.
 
-plus one registry hygiene rule (partitioner keys are unique and
-machine-friendly: lowercase with '_', ':' and '\'' only).
+plus a containment rule (raw x86 intrinsics live only in src/core/simd/,
+where the vector wrappers carry the bit-identity argument) and one registry
+hygiene rule (partitioner keys are unique and machine-friendly: lowercase
+with '_', ':' and '\'' only).
 
 Rules (ids used in messages and allow-comments):
 
   hot-alloc     allocation reachable from an LBB_HOT function
   raw-rng       raw RNG primitive outside src/stats/rng.hpp
   memory-order  non-seq_cst memory order outside runtime/work_stealing.cpp
+  raw-simd      raw x86 intrinsic (<immintrin.h>, _mm*/__builtin_ia32_*)
+                outside src/core/simd/
   registry-key  malformed or duplicate partitioner registry key
 
 Suppression: put `lbb-lint: allow(<rule>): <reason>` in a `//` comment on
@@ -50,6 +54,7 @@ REPO_MARKERS = ("CMakeLists.txt", "ROADMAP.md")
 
 RNG_EXEMPT = "src/stats/rng.hpp"
 MEMORY_ORDER_EXEMPT = "src/runtime/work_stealing.cpp"
+SIMD_EXEMPT_PREFIX = "src/core/simd/"
 
 # Problem-polymorphic calls the hot-alloc closure must not descend into:
 # their cost (and any allocation) belongs to the problem instance, which the
@@ -90,6 +95,16 @@ RNG_TOKENS = re.compile(
 MEMORY_ORDER = re.compile(
     r"\bmemory_order(?:_|\s*::\s*)"
     r"(relaxed|consume|acquire|release|acq_rel)\b"
+)
+
+# Raw x86 intrinsics: the vector headers and every _mm*/__builtin_ia32
+# builtin are confined to src/core/simd/ (vec.hpp wraps them; the kernels
+# and all other code use the wrappers), so exactly one subsystem carries
+# the per-ISA #ifdef surface and the bit-identity obligations.
+# __builtin_prefetch / __builtin_cpu_supports are portable GNU builtins,
+# not ISA intrinsics, and intentionally do not match.
+SIMD_TOKENS = re.compile(
+    r"(<immintrin\.h>|<x86intrin\.h>|__builtin_ia32_\w+|\b_mm(?:256|512)?_\w+)"
 )
 
 REGISTRY_KEY_SITES = (
@@ -455,6 +470,21 @@ def check_memory_order(sf: SourceFile, findings: list) -> None:
                 f"are confined to {MEMORY_ORDER_EXEMPT}"))
 
 
+def check_raw_simd(sf: SourceFile, findings: list) -> None:
+    if sf.rel.startswith(SIMD_EXEMPT_PREFIX):
+        return
+    for idx, line in enumerate(sf.masked_lines):
+        for m in SIMD_TOKENS.finditer(line):
+            if "raw-simd" in allow_rules_for_line(sf, idx, findings):
+                continue
+            findings.append(Finding(
+                sf.path, idx + 1, "raw-simd",
+                f"raw x86 intrinsic '{m.group(0)}' -- vector code is "
+                f"confined to {SIMD_EXEMPT_PREFIX} (use the u64xN/f64xN "
+                "wrappers and the LaneKernels dispatch instead, so the "
+                "bit-identity contract stays in one audited place)"))
+
+
 def check_registry_keys(files: list, findings: list) -> None:
     seen = {}
     for sf in files:
@@ -615,6 +645,7 @@ def main(argv=None) -> int:
     for sf in files:
         check_raw_rng(sf, findings)
         check_memory_order(sf, findings)
+        check_raw_simd(sf, findings)
     # Registry keys: uniqueness is global, so the rule runs over the whole
     # scan set; on a default (repo) scan only registration sites match.
     check_registry_keys(files, findings)

@@ -85,6 +85,18 @@ class FixtureRules(unittest.TestCase):
         self.assertIn("memory_order::relaxed", out, "enum form must match")
         self.assertIn("memory_order_acq_rel", out)
 
+    def test_raw_simd_fires(self):
+        lines, out = self.findings("bad_raw_simd.cpp", "raw-simd")
+        # 1 include + 4 _mm256_* call sites + 1 __builtin_ia32 builtin; the
+        # commented mention and the allow-suppressed site stay silent, and
+        # the __m256d type name (one 'm') must not match the _mm* pattern.
+        self.assertEqual(len(lines), 6, out)
+        self.assertIn("'<immintrin.h>'", out)
+        self.assertIn("'_mm256_loadu_pd'", out)
+        self.assertIn("'__builtin_ia32_pause'", out)
+        self.assertIn("src/core/simd/", out, "message must name the fence")
+        self.assertNotIn(":31:", out, "allow-comment must suppress")
+
     def test_registry_key_fires(self):
         lines, out = self.findings("bad_registry_key.cpp", "registry-key")
         self.assertEqual(len(lines), 4, out)
